@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches.
+ *
+ * Every bench prints one paper table/figure as an ASCII table. Runs are
+ * time-compressed by default (see DESIGN.md): the BH_SCALE environment
+ * variable (default 1) multiplies simulated cycles and workload counts
+ * for higher-fidelity runs, e.g. `BH_SCALE=4 ./fig5_multiprog`.
+ */
+
+#ifndef BH_BENCH_BENCH_UTIL_HH
+#define BH_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+namespace bh
+{
+
+/** BH_SCALE env var (>= 1): scales run length / workload counts. */
+inline double
+benchScale()
+{
+    const char *s = std::getenv("BH_SCALE");
+    if (!s)
+        return 1.0;
+    double v = std::atof(s);
+    return v >= 0.1 ? v : 1.0;
+}
+
+/** Standard compressed experiment configuration used by the benches. */
+inline ExperimentConfig
+benchConfig(const std::string &mechanism, std::uint32_t n_rh = 1024)
+{
+    ExperimentConfig cfg;
+    cfg.mechanism = mechanism;
+    cfg.nRH = n_rh;
+    cfg.refwMs = 0.5;
+    cfg.warmupCycles = static_cast<Cycle>(600'000 * benchScale());
+    cfg.runCycles = static_cast<Cycle>(1'600'000 * benchScale());
+    cfg.threads = 8;
+    cfg.attack.numBanks = 16;
+    return cfg;
+}
+
+/** Print a bench header naming the paper artifact being reproduced. */
+inline void
+benchHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("scale: BH_SCALE=%.2g (see DESIGN.md, time-compressed eval)\n",
+                benchScale());
+    std::printf("==============================================================\n");
+}
+
+/** Safe ratio with 0-guard. */
+inline double
+ratio(double a, double b)
+{
+    return b != 0.0 ? a / b : 0.0;
+}
+
+} // namespace bh
+
+#endif // BH_BENCH_BENCH_UTIL_HH

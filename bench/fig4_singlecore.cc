@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces Figure 4: execution time and DRAM energy of benign
+ * single-core applications (grouped L/M/H by RBCPKI) under each
+ * mitigation mechanism, normalized to the unprotected baseline.
+ *
+ * Paper shape: all mechanisms ~1.00 for L/M; PARA and MRLoc show small
+ * overheads on H apps; BlockHammer shows none.
+ */
+
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "workloads/catalog.hh"
+
+using namespace bh;
+
+int
+main()
+{
+    setVerbose(false);
+    benchHeader("Figure 4: single-core normalized execution time / energy",
+                "Figure 4 (Section 8.1), 30 benign apps x 7 mechanisms");
+
+    // App coverage grows with BH_SCALE (2 per category by default).
+    unsigned apps_per_cat = std::min<unsigned>(
+        12, static_cast<unsigned>(2 * benchScale()));
+
+    ExperimentConfig base_cfg = benchConfig("Baseline");
+    base_cfg.threads = 1;
+
+    std::vector<std::string> apps;
+    for (char cat : {'L', 'M', 'H'}) {
+        auto names = appsInCategory(cat);
+        for (unsigned i = 0; i < std::min<std::size_t>(apps_per_cat,
+                                                       names.size()); ++i)
+            apps.push_back(names[i * names.size() /
+                                 std::min<std::size_t>(apps_per_cat,
+                                                       names.size())]);
+    }
+
+    // Per (category, mechanism): normalized exec time & energy samples.
+    std::map<std::string, std::map<char, std::vector<double>>> time_norm;
+    std::map<std::string, std::map<char, std::vector<double>>> energy_norm;
+
+    for (const auto &app : apps) {
+        char cat = findApp(app)->category;
+        MixSpec mix;
+        mix.name = app;
+        mix.apps = {app};
+
+        ExperimentConfig cfg = base_cfg;
+        RunResult base = runExperiment(cfg, mix);
+        for (const auto &mech : paperMechanisms()) {
+            cfg.mechanism = mech;
+            RunResult res = runExperiment(cfg, mix);
+            // Normalized execution time = baseline IPC / mechanism IPC.
+            time_norm[mech][cat].push_back(ratio(base.ipc[0], res.ipc[0]));
+            energy_norm[mech][cat].push_back(
+                ratio(res.energyJ, base.energyJ));
+        }
+    }
+
+    auto mean = [](const std::vector<double> &v) {
+        double s = 0;
+        for (double x : v)
+            s += x;
+        return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+    };
+
+    std::printf("--- normalized execution time (1.00 = baseline) ---\n");
+    TextTable tt({"mechanism", "L", "M", "H"});
+    for (const auto &mech : paperMechanisms()) {
+        tt.addRow({mech,
+                   TextTable::num(mean(time_norm[mech]['L']), 3),
+                   TextTable::num(mean(time_norm[mech]['M']), 3),
+                   TextTable::num(mean(time_norm[mech]['H']), 3)});
+    }
+    std::printf("%s\n", tt.render().c_str());
+
+    std::printf("--- normalized DRAM energy (1.00 = baseline) ---\n");
+    TextTable te({"mechanism", "L", "M", "H"});
+    for (const auto &mech : paperMechanisms()) {
+        te.addRow({mech,
+                   TextTable::num(mean(energy_norm[mech]['L']), 3),
+                   TextTable::num(mean(energy_norm[mech]['M']), 3),
+                   TextTable::num(mean(energy_norm[mech]['H']), 3)});
+    }
+    std::printf("%s\n", te.render().c_str());
+    std::printf("Paper shape: BlockHammer ~1.000 everywhere; PARA/MRLoc "
+                "up to ~1.008 time and ~1.05 energy on H apps.\n\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Section 8.4: BlockHammer's internal behavior on benign
+ * workloads — the Bloom-filter false-positive rate and the distribution
+ * of delays suffered by mistakenly-delayed activations.
+ *
+ * Paper result: false-positive rate 0.010% at N_RH=32K rising to only
+ * 0.012% at N_RH=1K; delays of 1.7/3.9/7.6 us at P50/P90/P100, all below
+ * the theoretical tDelay of 7.7 us.
+ */
+
+#include "bench/bench_util.hh"
+#include "blockhammer/blockhammer.hh"
+
+using namespace bh;
+
+int
+main()
+{
+    setVerbose(false);
+    benchHeader("Section 8.4: false positives and delay distribution",
+                "benign mixes under full-functional BlockHammer");
+
+    auto n_mixes = static_cast<unsigned>(3 * benchScale());
+    auto mixes = makeBenignMixes(n_mixes, 1234);
+
+    TextTable t({"N_RH", "total acts", "delayed", "false pos",
+                 "FP rate %", "delay P50 us", "P90 us", "P100 us",
+                 "tDelay us"});
+    for (std::uint32_t nrh : {1024u, 512u, 256u}) {
+        std::uint64_t acts = 0, delayed = 0, fps = 0;
+        Histogram all_delays;
+        Cycle tdelay = 0;
+        for (const auto &mix : mixes) {
+            ExperimentConfig cfg = benchConfig("BlockHammer", nrh);
+            auto system = buildSystem(cfg, mix);
+            system->run(cfg.warmupCycles + cfg.runCycles);
+            auto *bh =
+                dynamic_cast<BlockHammer *>(&system->mem().mitigation());
+            acts += bh->totalActivations();
+            delayed += bh->delayedActivations();
+            fps += bh->falsePositiveActivations();
+            tdelay = bh->rowBlocker().tDelay();
+            const Histogram &h = bh->delayHistogram();
+            // Merge percentile inputs by re-sampling the summary points.
+            for (double p : {10.0, 30.0, 50.0, 70.0, 90.0, 100.0})
+                if (h.count() > 0)
+                    all_delays.add(h.percentile(p));
+        }
+        auto us = [](Cycle c) { return cyclesToNs(c) / 1000.0; };
+        t.addRow({strfmt("%u", nrh),
+                  strfmt("%llu", static_cast<unsigned long long>(acts)),
+                  strfmt("%llu", static_cast<unsigned long long>(delayed)),
+                  strfmt("%llu", static_cast<unsigned long long>(fps)),
+                  TextTable::num(100.0 * ratio(
+                      static_cast<double>(fps),
+                      static_cast<double>(acts)), 4),
+                  TextTable::num(us(all_delays.percentile(50)), 2),
+                  TextTable::num(us(all_delays.percentile(90)), 2),
+                  TextTable::num(us(all_delays.max()), 2),
+                  TextTable::num(us(tdelay), 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper shape: FP rate stays ~0.01%% at the thresholds where\n"
+                "delays occur at all. Median delays stay below the tDelay\n"
+                "bound; the tail exceeds it because a row that becomes safe\n"
+                "again must still win FR-FCFS scheduling under load.\n\n");
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces Table 7 (appendix): BlockHammer's configuration parameters
+ * for every evaluated RowHammer threshold. Analytical.
+ */
+
+#include "bench/bench_util.hh"
+#include "blockhammer/config.hh"
+
+using namespace bh;
+
+int
+main()
+{
+    setVerbose(false);
+    benchHeader("Table 7: configuration scaling across N_RH",
+                "Table 7 (appendix); N_BL = N_RH/4, CBF grows as N_BL "
+                "shrinks, tCBF = tREFW = 64 ms");
+
+    TextTable t({"N_RH", "N_RH*", "CBF size", "N_BL", "tCBF ms",
+                 "tDelay us", "HB entries"});
+    for (std::uint32_t nrh : {32768u, 16384u, 8192u, 4096u, 2048u, 1024u}) {
+        auto cfg = BlockHammerConfig::forThreshold(nrh, DramTimings::ddr4());
+        t.addRow({strfmt("%uK", nrh / 1024),
+                  strfmt("%u", cfg.nRHStar()),
+                  strfmt("%u", cfg.cbf.numCounters),
+                  strfmt("%u", cfg.nBL),
+                  TextTable::num(cyclesToNs(cfg.tCBF) / 1e6, 0),
+                  TextTable::num(cyclesToNs(cfg.tDelay()) / 1e3, 2),
+                  strfmt("%u", cfg.historyEntries())});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper row (N_RH=32K): CBF 1K, N_BL 8K, tCBF 64 ms.\n"
+                "Paper row (N_RH=1K): CBF 8K, N_BL 256, tCBF 64 ms.\n\n");
+    return 0;
+}

@@ -1,0 +1,23 @@
+#include <cstdio>
+#include "common/log.hh"
+#include "sim/experiment.hh"
+using namespace bh;
+int main() {
+    setVerbose(false);
+    ExperimentConfig cfg;
+    cfg.mechanism = "MRLoc"; cfg.threads = 4; cfg.nRH = 512; cfg.refwMs = 0.25;
+    cfg.warmupCycles = 100000; cfg.runCycles = 700000; cfg.attack.numBanks = 4;
+    MixSpec mix; mix.name = "am";
+    mix.apps = {kAttackAppName, "444.namd", "435.gromacs", "456.hmmer"};
+    auto sys = buildSystem(cfg, mix);
+    sys->run(800000);
+    auto* h = sys->mem().hammerObserver();
+    std::printf("flips=%zu maxActs=%llu acts=%llu vrefDone=%llu vrefPend=%zu\n",
+        h->bitFlips().size(), (unsigned long long)h->maxRowActivations(),
+        (unsigned long long)h->activationCount(),
+        (unsigned long long)sys->mem().controller().victimRefreshesDone(),
+        sys->mem().controller().pendingVictimRefreshes());
+    for (auto& f : h->bitFlips())
+        std::printf("  flip bank=%u victim=%u cycle=%lld\n", f.bank, f.victimRow, (long long)f.cycle);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Attack study: exercises BlockHammer against the full threat-model
+ * space — single-sided, double-sided, and many-sided RowHammer attacks
+ * (Section 4 of the paper) — and shows that the activation-rate bound
+ * holds for each, while the unprotected baseline suffers bit-flips.
+ *
+ * Usage: example_attack_study
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+
+using namespace bh;
+
+namespace
+{
+
+void
+runKind(const char *label, AttackParams::Kind kind, unsigned sides)
+{
+    ExperimentConfig cfg;
+    cfg.threads = 4;
+    cfg.nRH = 512;
+    cfg.refwMs = 0.25;
+    cfg.warmupCycles = 100'000;
+    cfg.runCycles = 700'000;
+    cfg.attack.kind = kind;
+    cfg.attack.sides = sides;
+    cfg.attack.numBanks = 4;
+
+    MixSpec mix;
+    mix.name = label;
+    mix.apps = {kAttackAppName, "444.namd", "456.hmmer", "435.gromacs"};
+
+    std::printf("%-14s", label);
+    for (const char *mech : {"Baseline", "BlockHammer"}) {
+        cfg.mechanism = mech;
+        RunResult res = runExperiment(cfg, mix);
+        std::printf("  | %-11s flips=%-3llu maxActs=%-5llu", mech,
+                    static_cast<unsigned long long>(res.bitFlips),
+                    static_cast<unsigned long long>(res.maxRowActs));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("RowHammer attack study: N_RH=512 (compressed), "
+                "4 banks hammered\n\n");
+    runKind("single-sided", AttackParams::Kind::kSingleSided, 1);
+    runKind("double-sided", AttackParams::Kind::kDoubleSided, 2);
+    runKind("4-sided", AttackParams::Kind::kManySided, 4);
+    runKind("8-sided", AttackParams::Kind::kManySided, 8);
+    std::printf("\nBlockHammer caps every aggressor's activation rate "
+                "regardless of attack\nshape: the Bloom filters track rows, "
+                "not patterns (Section 4).\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: build a BlockHammer-protected system, run a benign
+ * application next to a double-sided RowHammer attacker, and show that
+ * (1) no bit-flips occur and (2) the attacker gets throttled while the
+ * benign thread keeps its performance.
+ *
+ * Usage: example_quickstart
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+
+using namespace bh;
+
+int
+main()
+{
+    setVerbose(false);
+
+    // A 4-thread mix: three benign apps and one double-sided attacker.
+    MixSpec mix;
+    mix.name = "quickstart";
+    mix.apps = {"429.mcf", kAttackAppName, "462.libquantum", "444.namd"};
+
+    ExperimentConfig cfg;
+    cfg.threads = 4;
+    cfg.nRH = 1024;             // compressed threshold (see DESIGN.md)
+    cfg.refwMs = 0.5;           // compressed 0.5 ms refresh window
+    cfg.runCycles = 1'600'000;  // 0.5 ms at 3.2 GHz
+
+    std::printf("BlockHammer quickstart: 4 threads, one double-sided "
+                "RowHammer attacker\n\n");
+    std::printf("%-12s %10s %10s %12s %10s\n",
+                "mechanism", "bitflips", "maxActs", "benign-IPC", "energy(mJ)");
+    for (const char *mech : {"Baseline", "BlockHammer"}) {
+        cfg.mechanism = mech;
+        RunResult res = runExperiment(cfg, mix);
+        double benign_ipc = 0.0;
+        int benign = 0;
+        for (std::size_t t = 0; t < res.ipc.size(); ++t) {
+            if (!res.isAttack[t]) {
+                benign_ipc += res.ipc[t];
+                ++benign;
+            }
+        }
+        std::printf("%-12s %10llu %10llu %12.3f %10.3f\n",
+                    mech,
+                    static_cast<unsigned long long>(res.bitFlips),
+                    static_cast<unsigned long long>(res.maxRowActs),
+                    benign_ipc / benign,
+                    res.energyJ * 1e3);
+    }
+    std::printf("\nBaseline lets the attacker exceed N_RH=%u activations "
+                "(bit-flips!);\nBlockHammer caps every row below the "
+                "threshold and frees bandwidth for benign threads.\n",
+                cfg.nRH);
+    return 0;
+}

@@ -1,0 +1,133 @@
+#include "analysis/hwcost.hh"
+
+#include <cmath>
+
+#include "blockhammer/config.hh"
+#include "common/bitutils.hh"
+
+namespace bh
+{
+
+HwCostModel::HwCostModel(const TechParams &params, unsigned banks_count,
+                         unsigned threads_count)
+    : tech(params), banks(banks_count), threads(threads_count)
+{
+}
+
+Storage
+HwCostModel::blockHammerDcbf(std::uint32_t n_rh) const
+{
+    auto cfg = BlockHammerConfig::forThreshold(n_rh, DramTimings::ddr4(),
+                                               banks, threads);
+    // Two filters per bank; counters sized to reach N_BL.
+    double counter_bits = ceilLog2(cfg.nBL) + 1;
+    double bits = 2.0 * cfg.cbf.numCounters * counter_bits * banks;
+    return Storage{bits, 0.0};
+}
+
+Storage
+HwCostModel::blockHammerHistory(std::uint32_t n_rh,
+                                const DramTimings &timings) const
+{
+    auto cfg = BlockHammerConfig::forThreshold(n_rh, timings, banks, threads);
+    double entries = cfg.historyEntries();
+    // Each entry: row id in CAM (searched), timestamp + valid in SRAM.
+    double row_id_bits = ceilLog2(65536) + ceilLog2(banks);  // 20
+    double sram_bits = entries * (11.0 + 1.0);               // ts + valid
+    double cam_bits = entries * row_id_bits;
+    return Storage{sram_bits, cam_bits};
+}
+
+Storage
+HwCostModel::blockHammerThrottler(std::uint32_t n_rh) const
+{
+    auto cfg = BlockHammerConfig::forThreshold(n_rh, DramTimings::ddr4(),
+                                               banks, threads);
+    double counter_bits = ceilLog2(cfg.throttlerCounterMax()) + 1;
+    double bits = 2.0 * threads * banks * counter_bits;
+    return Storage{bits, 0.0};
+}
+
+HwCost
+HwCostModel::toCost(const std::string &name, const Storage &s) const
+{
+    HwCost c;
+    c.mechanism = name;
+    c.sramKiB = s.sramBits / 8.0 / 1024.0;
+    c.camKiB = s.camBits / 8.0 / 1024.0;
+    double area_um2 = s.sramBits * tech.sramAreaUm2PerBit +
+        s.camBits * tech.camAreaUm2PerBit;
+    c.areaMm2 = area_um2 * 1e-6;
+    c.cpuAreaPct = 100.0 * (c.areaMm2 * 4.0) / tech.cpuDieMm2;  // 4 channels
+    c.accessEnergyPj =
+        tech.accessEnergyPjPerSqrtBit * std::sqrt(s.sramBits) +
+        tech.accessEnergyPjPerSqrtBit * tech.camEnergyFactor *
+        std::sqrt(s.camBits);
+    c.staticPowerMw = (s.sramBits * tech.staticPowerNwPerBit +
+                       s.camBits * tech.staticPowerNwPerBit *
+                       tech.camPowerFactor) * 1e-6;
+    return c;
+}
+
+std::optional<HwCost>
+HwCostModel::costFor(const std::string &mechanism, std::uint32_t n_rh,
+                     const DramTimings &timings) const
+{
+    double scale32k = 32768.0 / static_cast<double>(n_rh);
+
+    if (mechanism == "BlockHammer") {
+        Storage total;
+        for (const Storage &s : {blockHammerDcbf(n_rh),
+                                 blockHammerHistory(n_rh, timings),
+                                 blockHammerThrottler(n_rh)}) {
+            total.sramBits += s.sramBits;
+            total.camBits += s.camBits;
+        }
+        return toCost(mechanism, total);
+    }
+    if (mechanism == "PARA") {
+        // Probabilistic: a probability register and an LFSR; no tables.
+        HwCost c = toCost(mechanism, Storage{64.0, 0.0});
+        return c;
+    }
+    if (mechanism == "PRoHIT") {
+        // Fixed design point (the paper reports N_RH = 2K parameters and
+        // no scaling methodology).
+        if (n_rh < 2048)
+            return std::nullopt;
+        HwCost c = toCost(mechanism, Storage{0.0, 0.22 * 8.0 * 1024.0});
+        c.scalable = false;
+        return c;
+    }
+    if (mechanism == "MRLoc") {
+        if (n_rh < 2048)
+            return std::nullopt;
+        HwCost c = toCost(mechanism, Storage{0.0, 0.47 * 8.0 * 1024.0});
+        c.scalable = false;
+        return c;
+    }
+    if (mechanism == "CBT") {
+        // 125 counters per bank at 32K; counter count grows inversely
+        // with the threshold (deeper trees / more regions).
+        double sram_kib = 16.0 * scale32k;
+        double cam_kib = 8.5 * scale32k;
+        return toCost(mechanism, Storage{sram_kib * 8192.0,
+                                         cam_kib * 8192.0});
+    }
+    if (mechanism == "TWiCe") {
+        // Table entries scale with the maximum concurrently-tracked rows,
+        // inversely proportional to the threshold.
+        double sram_kib = 23.10 * scale32k;
+        double cam_kib = 14.02 * scale32k;
+        return toCost(mechanism, Storage{sram_kib * 8192.0,
+                                         cam_kib * 8192.0});
+    }
+    if (mechanism == "Graphene") {
+        // Misra-Gries: ceil(W / T) CAM entries per bank; W fixed by tRC.
+        double cam_kib = 5.22 * scale32k;
+        return toCost(mechanism, Storage{0.0, cam_kib * 8192.0});
+    }
+    return std::nullopt;
+}
+
+} // namespace bh

@@ -1,0 +1,139 @@
+#include "analysis/security.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+const char *
+epochTypeName(EpochType type)
+{
+    switch (type) {
+      case EpochType::T0: return "T0";
+      case EpochType::T1: return "T1";
+      case EpochType::T2: return "T2";
+      case EpochType::T3: return "T3";
+      case EpochType::T4: return "T4";
+    }
+    return "?";
+}
+
+SecurityAnalyzer::SecurityAnalyzer(const BlockHammerConfig &config)
+    : cfg(config), tEp(config.tCBF / 2), tDelay(config.tDelay())
+{
+}
+
+std::int64_t
+SecurityAnalyzer::epochCapacity(std::int64_t prev_epoch_acts) const
+{
+    std::int64_t nbl = cfg.nBL;
+    if (prev_epoch_acts >= nbl) {
+        // Blacklisted from the start: one activation per tDelay.
+        return tEp / tDelay + 1;
+    }
+    // Free (un-blacklisted) activations until the active CBF, which also
+    // saw the previous epoch, reaches N_BL; then tDelay pacing.
+    std::int64_t free_acts = nbl - prev_epoch_acts;
+    std::int64_t fastest_free = tEp / cfg.tRC + 1;
+    if (free_acts >= fastest_free)
+        return fastest_free;    // epoch too short to even get blacklisted
+    Cycle remaining = tEp - free_acts * cfg.tRC;
+    return free_acts + remaining / tDelay + 1;
+}
+
+std::vector<EpochBound>
+SecurityAnalyzer::epochBounds() const
+{
+    std::int64_t nbl = cfg.nBL;
+    double rc_ratio = 1.0 - static_cast<double>(cfg.tRC) /
+        static_cast<double>(tDelay);
+    auto t2max = static_cast<std::int64_t>(
+        static_cast<double>(tEp) / static_cast<double>(tDelay) +
+        rc_ratio * static_cast<double>(nbl));
+    return {
+        {EpochType::T0, "< N_BL", "N_ep < N_BL*", nbl - 1},
+        {EpochType::T1, "< N_BL", "N_BL* <= N_ep < N_BL", nbl - 1},
+        {EpochType::T2, "< N_BL", "N_ep >= N_BL", t2max},
+        {EpochType::T3, ">= N_BL", "N_ep < N_BL", nbl - 1},
+        {EpochType::T4, ">= N_BL", "N_ep >= N_BL", tEp / tDelay},
+    };
+}
+
+FeasibilityResult
+SecurityAnalyzer::analyze() const
+{
+    // A tREFW window can overlap at most floor(tREFW/tEp) + 1 epochs;
+    // granting the attacker that many *full* epochs upper-bounds what any
+    // alignment of the window can admit.
+    auto epochs = static_cast<std::size_t>(cfg.tREFW / tEp + 1);
+    std::int64_t nbl = cfg.nBL;
+
+    // DP over the carried state: the previous epoch's activation count,
+    // clamped to N_BL (all counts >= N_BL behave identically because the
+    // active CBF blacklists immediately). States 0..N_BL.
+    std::size_t states = static_cast<std::size_t>(nbl) + 1;
+    std::vector<std::int64_t> value(states, 0);     // V(epoch e+1, state)
+    std::vector<std::vector<std::int64_t>> choice(
+        epochs, std::vector<std::int64_t>(states, 0));
+
+    for (std::size_t e = epochs; e-- > 0;) {
+        // prefix_best[s] = max over s' <= s of (s' + V(e+1, s')).
+        std::vector<std::int64_t> prefix_best(states);
+        std::int64_t best = 0;
+        for (std::size_t s = 0; s < states; ++s) {
+            best = std::max(best, static_cast<std::int64_t>(s) + value[s]);
+            prefix_best[s] = best;
+        }
+        std::vector<std::int64_t> next_value(states);
+        for (std::size_t prev = 0; prev < states; ++prev) {
+            std::int64_t cap = epochCapacity(static_cast<std::int64_t>(prev));
+            // Option A: stay below N_BL this epoch (next state = N_ep).
+            std::int64_t below_cap =
+                std::min<std::int64_t>(cap, nbl - 1);
+            std::int64_t best_total = prefix_best[
+                static_cast<std::size_t>(std::max<std::int64_t>(0, below_cap))];
+            std::int64_t best_choice = below_cap;
+            // Option B: blast through N_BL (next state = N_BL).
+            if (cap >= nbl) {
+                std::int64_t total = cap + value[static_cast<std::size_t>(nbl)];
+                if (total > best_total) {
+                    best_total = total;
+                    best_choice = cap;
+                }
+            }
+            next_value[prev] = best_total;
+            choice[e][prev] = best_choice;
+        }
+        value = std::move(next_value);
+    }
+
+    FeasibilityResult res;
+    res.nRH = cfg.nRH;
+    res.nRHStar = cfg.nRHStar();
+    res.maxActsInWindow = value[0];     // rows start untracked
+    res.attackPossible = res.maxActsInWindow >= res.nRH;
+
+    // Reconstruct the best sequence and classify epoch types.
+    std::int64_t prev = 0;
+    for (std::size_t e = 0; e < epochs; ++e) {
+        std::int64_t nep = choice[e][static_cast<std::size_t>(prev)];
+        EpochType type;
+        if (prev < nbl) {
+            if (nep >= nbl)
+                type = EpochType::T2;
+            else if (nep + prev >= nbl)
+                type = EpochType::T1;
+            else
+                type = EpochType::T0;
+        } else {
+            type = (nep >= nbl) ? EpochType::T4 : EpochType::T3;
+        }
+        res.bestSequence.push_back(type);
+        prev = std::min<std::int64_t>(nep, nbl);
+    }
+    return res;
+}
+
+} // namespace bh

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Security analysis of BlockHammer (Section 5, Tables 2 and 3).
+ *
+ * Models every possible per-epoch activation pattern of an aggressor row
+ * under RowBlocker (the five epoch types T0-T4), derives the maximum
+ * activation count each epoch type admits, and exhaustively searches for
+ * an epoch sequence that would accumulate N_RH activations within a
+ * refresh window while satisfying the type-transition constraints. The
+ * paper uses an analytical solver (WolframAlpha) for this search; we
+ * enumerate — the window only spans a handful of epochs.
+ */
+
+#ifndef BH_ANALYSIS_SECURITY_HH
+#define BH_ANALYSIS_SECURITY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blockhammer/config.hh"
+
+namespace bh
+{
+
+/** Epoch types of Table 2. */
+enum class EpochType
+{
+    T0, T1, T2, T3, T4,
+};
+
+/** Table 2 row: activation bounds of one epoch type. */
+struct EpochBound
+{
+    EpochType type;
+    std::string descrPrev;      ///< N_{ep-1} range
+    std::string descrCur;       ///< N_ep range
+    std::int64_t nepMax;        ///< maximum N_ep
+};
+
+/** Result of the attack-feasibility search. */
+struct FeasibilityResult
+{
+    bool attackPossible = false;
+    /** Largest activation count any epoch sequence can reach in tREFW. */
+    std::int64_t maxActsInWindow = 0;
+    /** The bound the attack must beat (N_RH). */
+    std::int64_t nRH = 0;
+    /** N_RH* (the derated budget RowBlocker enforces). */
+    std::int64_t nRHStar = 0;
+    /** Best sequence found (epoch types). */
+    std::vector<EpochType> bestSequence;
+};
+
+/** Section 5 analyzer. */
+class SecurityAnalyzer
+{
+  public:
+    explicit SecurityAnalyzer(const BlockHammerConfig &config);
+
+    /** Table 2: per-type maximum activation counts. */
+    std::vector<EpochBound> epochBounds() const;
+
+    /**
+     * Exhaustive feasibility search over epoch sequences spanning one
+     * refresh window (Table 3's constraint system). Uses exact dynamic
+     * maximization: each epoch's capacity depends on the activation count
+     * carried in from the previous epoch through the active CBF.
+     */
+    FeasibilityResult analyze() const;
+
+    /** Maximum activations in one epoch given the previous epoch's count. */
+    std::int64_t epochCapacity(std::int64_t prev_epoch_acts) const;
+
+    /** Epoch length tCBF/2 in cycles. */
+    Cycle epochLength() const { return tEp; }
+
+  private:
+    BlockHammerConfig cfg;
+    Cycle tEp;
+    Cycle tDelay;
+};
+
+const char *epochTypeName(EpochType type);
+
+} // namespace bh
+
+#endif // BH_ANALYSIS_SECURITY_HH

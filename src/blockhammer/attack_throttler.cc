@@ -1,0 +1,74 @@
+#include "blockhammer/attack_throttler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bh
+{
+
+AttackThrottler::AttackThrottler(const BlockHammerConfig &config)
+    : cfg(config), denom(config.rhliDenominator()),
+      counterMax(config.throttlerCounterMax())
+{
+    // In a protected system RHLI cannot exceed 1 (the zero quota stops
+    // the activations), so saturating counters suffice (Section 3.2.1).
+    // Observe-only mode interferes with nothing and counts exactly, so
+    // the measured RHLI can reach the paper's >>1 values.
+    if (cfg.observeOnly)
+        counterMax = 0xffffffffu;
+    counters[0].assign(static_cast<std::size_t>(cfg.threads) * cfg.banks, 0);
+    counters[1].assign(static_cast<std::size_t>(cfg.threads) * cfg.banks, 0);
+}
+
+void
+AttackThrottler::onBlacklistedActivate(ThreadId thread, unsigned bank)
+{
+    if (thread < 0 || static_cast<unsigned>(thread) >= cfg.threads)
+        return;
+    std::size_t i = index(thread, bank);
+    for (auto &side : counters)
+        if (side[i] < counterMax)
+            ++side[i];
+}
+
+double
+AttackThrottler::rhli(ThreadId thread, unsigned bank) const
+{
+    if (thread < 0 || static_cast<unsigned>(thread) >= cfg.threads)
+        return 0.0;
+    if (denom <= 0.0)
+        return 0.0;
+    return static_cast<double>(counters[active][index(thread, bank)]) / denom;
+}
+
+double
+AttackThrottler::maxRhli(ThreadId thread) const
+{
+    double m = 0.0;
+    for (unsigned b = 0; b < cfg.banks; ++b)
+        m = std::max(m, rhli(thread, b));
+    return m;
+}
+
+int
+AttackThrottler::quota(ThreadId thread, unsigned bank) const
+{
+    double r = rhli(thread, bank);
+    if (r <= 0.0)
+        return -1;      // benign: unlimited
+    if (r >= 1.0)
+        return 0;       // certain attacker: block entirely
+    double q = static_cast<double>(cfg.baseQuota) * (1.0 - r);
+    return std::max(0, static_cast<int>(std::floor(q)));
+}
+
+void
+AttackThrottler::onEpochBoundary()
+{
+    // Clear the active side and swap: the passive side (which kept
+    // accumulating) becomes authoritative, mirroring the D-CBF swap.
+    std::fill(counters[active].begin(), counters[active].end(), 0);
+    active = 1 - active;
+}
+
+} // namespace bh

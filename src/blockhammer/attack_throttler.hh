@@ -1,0 +1,67 @@
+/**
+ * @file
+ * AttackThrottler (Section 3.2): per-<thread, bank> RowHammer likelihood
+ * index (RHLI) tracking and in-flight request quotas.
+ *
+ * RHLI (Equation 2) is the number of blacklisted-row activations a thread
+ * performed in a bank, normalized to the maximum number of times any
+ * blacklisted row can be activated under RowBlocker's protection. Two
+ * saturating counters per pair are kept in the same time-interleaved
+ * manner as the D-CBFs; the quota shrinks as RHLI grows and reaches zero
+ * at RHLI >= 1.
+ */
+
+#ifndef BH_BLOCKHAMMER_ATTACK_THROTTLER_HH
+#define BH_BLOCKHAMMER_ATTACK_THROTTLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "blockhammer/config.hh"
+
+namespace bh
+{
+
+/** RHLI tracker + quota engine. */
+class AttackThrottler
+{
+  public:
+    explicit AttackThrottler(const BlockHammerConfig &config);
+
+    /** Record an activation of an already-blacklisted row. */
+    void onBlacklistedActivate(ThreadId thread, unsigned bank);
+
+    /** RHLI of <thread, bank> (Equation 2). */
+    double rhli(ThreadId thread, unsigned bank) const;
+
+    /** Largest RHLI of `thread` across banks (OS-facing indicator). */
+    double maxRhli(ThreadId thread) const;
+
+    /**
+     * In-flight request quota for <thread, bank>: unlimited (-1) at
+     * RHLI == 0, shrinking to 0 at RHLI >= 1.
+     */
+    int quota(ThreadId thread, unsigned bank) const;
+
+    /** Swap + clear active counters (synchronized with D-CBF clears). */
+    void onEpochBoundary();
+
+    const BlockHammerConfig &config() const { return cfg; }
+
+  private:
+    std::size_t
+    index(ThreadId thread, unsigned bank) const
+    {
+        return static_cast<std::size_t>(thread) * cfg.banks + bank;
+    }
+
+    BlockHammerConfig cfg;
+    double denom;
+    std::uint32_t counterMax;
+    unsigned active = 0;
+    std::vector<std::uint32_t> counters[2];     ///< per <thread, bank>
+};
+
+} // namespace bh
+
+#endif // BH_BLOCKHAMMER_ATTACK_THROTTLER_HH

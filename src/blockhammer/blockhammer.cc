@@ -1,0 +1,75 @@
+#include "blockhammer/blockhammer.hh"
+
+namespace bh
+{
+
+BlockHammer::BlockHammer(const BlockHammerConfig &config)
+    : cfg(config), blocker(config), throttler(config)
+{
+}
+
+bool
+BlockHammer::isActSafe(unsigned bank, RowId row, ThreadId thread, Cycle now)
+{
+    (void)thread;
+    bool safe = blocker.isSafe(bank, row, now);
+    if (!safe) {
+        ++numUnsafe;
+        firstBlocked.try_emplace(key(bank, row), now);
+    }
+    // Observe-only mode computes everything but never interferes
+    // (Section 3.2.1).
+    return cfg.observeOnly ? true : safe;
+}
+
+void
+BlockHammer::onActivate(unsigned bank, RowId row, ThreadId thread, Cycle now)
+{
+    ++numActs;
+    std::uint64_t k = key(bank, row);
+
+    // An activation of an already-blacklisted row feeds the thread's RHLI.
+    bool blacklisted = blocker.isBlacklisted(bank, row);
+    if (blacklisted) {
+        ++numBlacklistedActs;
+        throttler.onBlacklistedActivate(thread, bank);
+    }
+
+    // Delay accounting: if this row was previously refused, the elapsed
+    // time is the penalty RowBlocker imposed on this activation.
+    if (auto it = firstBlocked.find(k); it != firstBlocked.end()) {
+        Cycle delay = now - it->second;
+        firstBlocked.erase(it);
+        ++numDelayedActs;
+        delayHist.add(delay);
+        // Ground truth: a delayed activation whose exact two-epoch count
+        // never reached N_BL was delayed only because of Bloom-filter
+        // aliasing — a false positive.
+        if (shadow.count(k) < cfg.nBL) {
+            ++numFalsePos;
+            fpHist.add(delay);
+        }
+    }
+
+    blocker.onActivate(bank, row, now);
+    shadow.insert(k);
+}
+
+void
+BlockHammer::tick(Cycle now)
+{
+    if (blocker.clockTick(now)) {
+        throttler.onEpochBoundary();
+        shadow.onEpochBoundary();
+    }
+}
+
+int
+BlockHammer::quota(ThreadId thread, unsigned bank) const
+{
+    if (cfg.observeOnly)
+        return -1;
+    return throttler.quota(thread, bank);
+}
+
+} // namespace bh

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The complete BlockHammer mechanism (Section 3): RowBlocker +
+ * AttackThrottler behind the memory controller's Mitigation interface.
+ *
+ * Also carries a simulation-only exact "shadow" tracker that replays the
+ * D-CBF's rolling window without aliasing, giving ground truth for the
+ * false-positive analyses of Section 8.4 (the hardware mechanism itself
+ * never needs it).
+ */
+
+#ifndef BH_BLOCKHAMMER_BLOCKHAMMER_HH
+#define BH_BLOCKHAMMER_BLOCKHAMMER_HH
+
+#include <unordered_map>
+
+#include "blockhammer/attack_throttler.hh"
+#include "blockhammer/row_blocker.hh"
+#include "mem/mitigation.hh"
+
+namespace bh
+{
+
+/** BlockHammer: proactive throttling via Bloom-filter blacklists. */
+class BlockHammer : public Mitigation
+{
+  public:
+    explicit BlockHammer(const BlockHammerConfig &config);
+
+    std::string name() const override { return "BlockHammer"; }
+
+    bool isActSafe(unsigned bank, RowId row, ThreadId thread,
+                   Cycle now) override;
+    void onActivate(unsigned bank, RowId row, ThreadId thread,
+                    Cycle now) override;
+    void tick(Cycle now) override;
+    int quota(ThreadId thread, unsigned bank) const override;
+
+    /** RHLI of <thread, bank> — the OS-facing interface (Section 3.2.3). */
+    double rhli(ThreadId thread, unsigned bank) const
+    {
+        return throttler.rhli(thread, bank);
+    }
+
+    /** Largest RHLI of a thread across banks. */
+    double maxRhli(ThreadId thread) const { return throttler.maxRhli(thread); }
+
+    const RowBlocker &rowBlocker() const { return blocker; }
+    const AttackThrottler &attackThrottler() const { return throttler; }
+    const BlockHammerConfig &config() const { return cfg; }
+
+    /** Activations issued to already-blacklisted rows. */
+    std::uint64_t blacklistedActivations() const { return numBlacklistedActs; }
+
+    /** Activations that were delayed at least one safety rejection. */
+    std::uint64_t delayedActivations() const { return numDelayedActs; }
+
+    /** Delayed activations whose exact count was below N_BL (aliasing). */
+    std::uint64_t falsePositiveActivations() const { return numFalsePos; }
+
+    /** Total activations observed. */
+    std::uint64_t totalActivations() const { return numActs; }
+
+    /** Safety queries answered unsafe. */
+    std::uint64_t unsafeVerdicts() const { return numUnsafe; }
+
+    /** Distribution of per-activation delays (cycles). */
+    const Histogram &delayHistogram() const { return delayHist; }
+
+    /** Distribution of delays of false-positive activations only. */
+    const Histogram &falsePositiveDelayHistogram() const { return fpHist; }
+
+  private:
+    /** Exact two-epoch rolling activation counts (simulation oracle). */
+    struct ExactShadow
+    {
+        std::unordered_map<std::uint64_t, std::uint32_t> side[2];
+        unsigned active = 0;
+
+        void
+        insert(std::uint64_t key)
+        {
+            ++side[0][key];
+            ++side[1][key];
+        }
+        std::uint32_t
+        count(std::uint64_t key) const
+        {
+            auto it = side[active].find(key);
+            return it == side[active].end() ? 0 : it->second;
+        }
+        void
+        onEpochBoundary()
+        {
+            side[active].clear();
+            active = 1 - active;
+        }
+    };
+
+    std::uint64_t
+    key(unsigned bank, RowId row) const
+    {
+        return (static_cast<std::uint64_t>(bank) << 32) | row;
+    }
+
+    BlockHammerConfig cfg;
+    RowBlocker blocker;
+    AttackThrottler throttler;
+    ExactShadow shadow;
+
+    /** First-blocked timestamps of rows currently being delayed. */
+    std::unordered_map<std::uint64_t, Cycle> firstBlocked;
+
+    std::uint64_t numActs = 0;
+    std::uint64_t numBlacklistedActs = 0;
+    std::uint64_t numDelayedActs = 0;
+    std::uint64_t numFalsePos = 0;
+    std::uint64_t numUnsafe = 0;
+    Histogram delayHist;
+    Histogram fpHist;
+};
+
+} // namespace bh
+
+#endif // BH_BLOCKHAMMER_BLOCKHAMMER_HH

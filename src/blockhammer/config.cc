@@ -1,0 +1,97 @@
+#include "blockhammer/config.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace bh
+{
+
+std::uint32_t
+BlockHammerConfig::nRHStar() const
+{
+    // Equation 3: N_RH* = N_RH / (2 * sum_{k=1..r_blast} c_k).
+    double sum = 0.0;
+    double ck = 1.0;
+    for (unsigned k = 1; k <= blast.radius; ++k) {
+        sum += ck;
+        ck *= blast.impactBase;
+    }
+    return static_cast<std::uint32_t>(
+        std::floor(static_cast<double>(nRH) / (2.0 * sum)));
+}
+
+Cycle
+BlockHammerConfig::tDelay() const
+{
+    // Equation 1:
+    // tDelay = (tCBF - N_BL * tRC) / ((tCBF/tREFW) * N_RH* - N_BL).
+    double budget = static_cast<double>(tCBF) -
+        static_cast<double>(nBL) * static_cast<double>(tRC);
+    double allowed = (static_cast<double>(tCBF) /
+                      static_cast<double>(tREFW)) *
+        static_cast<double>(nRHStar()) - static_cast<double>(nBL);
+    if (allowed <= 0.0)
+        fatal("BlockHammer config invalid: N_BL >= window activation budget");
+    if (budget <= 0.0)
+        fatal("BlockHammer config invalid: N_BL*tRC exceeds tCBF");
+    return static_cast<Cycle>(std::ceil(budget / allowed));
+}
+
+unsigned
+BlockHammerConfig::historyEntries() const
+{
+    // tFAW admits at most 4 activations per rolling tFAW window, so at
+    // most ceil(4 * tDelay / tFAW) activations can fall inside a tDelay
+    // window (Section 3.1.2).
+    return static_cast<unsigned>(ceilDiv(4 * tDelay(), tFAW));
+}
+
+double
+BlockHammerConfig::rhliDenominator() const
+{
+    double windowed = static_cast<double>(nRHStar()) *
+        (static_cast<double>(tCBF) / static_cast<double>(tREFW));
+    return windowed - static_cast<double>(nBL);
+}
+
+std::uint32_t
+BlockHammerConfig::throttlerCounterMax() const
+{
+    double windowed = static_cast<double>(nRHStar()) *
+        (static_cast<double>(tCBF) / static_cast<double>(tREFW));
+    return static_cast<std::uint32_t>(std::ceil(windowed));
+}
+
+BlockHammerConfig
+BlockHammerConfig::forThreshold(std::uint32_t n_rh,
+                                const DramTimings &timings,
+                                unsigned banks, unsigned threads,
+                                BlastModel blast)
+{
+    BlockHammerConfig cfg;
+    cfg.nRH = n_rh;
+    cfg.blast = blast;
+    cfg.tREFW = timings.tREFW;
+    cfg.tCBF = timings.tREFW;       // Section 3.1.3: tCBF = tREFW
+    cfg.tRC = timings.tRC;
+    cfg.tFAW = timings.tFAW;
+    cfg.banks = banks;
+    cfg.threads = threads;
+
+    // Table 7: N_BL = N_RH / 4 (equivalently N_RH* / 2 for double-sided).
+    cfg.nBL = std::max<std::uint32_t>(1, n_rh / 4);
+
+    // Table 7 CBF sizing: 1K counters down to N_BL = 2K, then doubling the
+    // filter as N_BL halves to hold the false-positive rate: 2^21 / N_BL.
+    std::uint32_t size = (1u << 21) / std::max<std::uint32_t>(cfg.nBL, 1);
+    cfg.cbf.numCounters = std::max<std::uint32_t>(1024, size);
+    cfg.cbf.numHashes = 4;
+    cfg.cbf.counterMax = cfg.nBL;   // counters only need to reach N_BL
+
+    return cfg;
+}
+
+} // namespace bh

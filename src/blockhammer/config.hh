@@ -1,0 +1,83 @@
+/**
+ * @file
+ * BlockHammer configuration and derived-parameter math.
+ *
+ * Implements Equation 1 (tDelay), Equation 3 (many-sided threshold
+ * scaling N_RH*), the RowBlocker-HB sizing rule, and the Table 7
+ * parameter-scaling methodology for different RowHammer thresholds.
+ */
+
+#ifndef BH_BLOCKHAMMER_CONFIG_HH
+#define BH_BLOCKHAMMER_CONFIG_HH
+
+#include <cstdint>
+
+#include "bloom/counting_bloom.hh"
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace bh
+{
+
+/** Blast-radius model used to derate N_RH for multi-aggressor attacks. */
+struct BlastModel
+{
+    unsigned radius = 1;        ///< r_blast
+    double impactBase = 0.5;    ///< c_k = impactBase^(k-1)
+
+    /** The paper's standard double-sided attack model. */
+    static BlastModel doubleSided() { return BlastModel{1, 0.5}; }
+
+    /** Worst case observed in >1500 chips (Section 4): r=6, c_k=0.5^(k-1). */
+    static BlastModel worstCase() { return BlastModel{6, 0.5}; }
+};
+
+/** Full BlockHammer parameter set. */
+struct BlockHammerConfig
+{
+    std::uint32_t nRH = 32768;      ///< single-aggressor RowHammer threshold
+    BlastModel blast = BlastModel::doubleSided();
+    std::uint32_t nBL = 8192;       ///< blacklisting threshold N_BL
+    Cycle tREFW = 0;                ///< refresh window (cycles)
+    Cycle tCBF = 0;                 ///< CBF lifetime (cycles), == tREFW
+    Cycle tRC = 0;
+    Cycle tFAW = 0;
+    CbfConfig cbf;                  ///< per-bank CBF geometry
+    unsigned banks = 16;
+    unsigned threads = 8;
+    int baseQuota = 4;              ///< per <thread,bank> in-flight quota
+    bool observeOnly = false;       ///< Section 3.2.1 observe-only mode
+    std::uint64_t seed = 1;
+
+    /** Equation 3: derated threshold N_RH* under the blast model. */
+    std::uint32_t nRHStar() const;
+
+    /** Equation 1: delay enforced on blacklisted rows (cycles). */
+    Cycle tDelay() const;
+
+    /** RowBlocker-HB size: ceil(4 * tDelay / tFAW) entries per rank. */
+    unsigned historyEntries() const;
+
+    /**
+     * RHLI denominator (Equation 2):
+     * N_RH* x (tCBF / tREFW) - N_BL blacklisted activations.
+     */
+    double rhliDenominator() const;
+
+    /** Saturation value for AttackThrottler counters. */
+    std::uint32_t throttlerCounterMax() const;
+
+    /**
+     * Table 7 methodology: derive all parameters for a RowHammer threshold
+     * using the given DRAM timings. N_BL = N_RH / 4; CBF size grows as
+     * N_BL shrinks to keep the false-positive rate low; tCBF = tREFW.
+     */
+    static BlockHammerConfig forThreshold(
+        std::uint32_t n_rh, const DramTimings &timings,
+        unsigned banks = 16, unsigned threads = 8,
+        BlastModel blast = BlastModel::doubleSided());
+};
+
+} // namespace bh
+
+#endif // BH_BLOCKHAMMER_CONFIG_HH

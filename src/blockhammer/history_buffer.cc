@@ -1,0 +1,56 @@
+#include "blockhammer/history_buffer.hh"
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+HistoryBuffer::HistoryBuffer(unsigned entries, Cycle t_delay)
+    : slots(entries), tDelay(t_delay)
+{
+    if (entries == 0)
+        fatal("history buffer needs at least one entry");
+}
+
+void
+HistoryBuffer::insert(std::uint64_t row_key, Cycle now)
+{
+    expire(now);
+    if (numValid == slots.size()) {
+        // tFAW bounds the activation rate, so a correctly-sized buffer can
+        // never overflow; reaching this is a configuration/sizing bug.
+        panic("history buffer overflow: %u entries cannot hold tDelay=%lld "
+              "window", capacity(), static_cast<long long>(tDelay));
+    }
+    slots[tail] = Slot{row_key, now, true};
+    tail = (tail + 1) % slots.size();
+    ++numValid;
+    ++members[row_key];
+}
+
+void
+HistoryBuffer::expire(Cycle now)
+{
+    while (numValid > 0) {
+        Slot &oldest = slots[head];
+        if (now - oldest.timestamp < tDelay)
+            break;
+        oldest.valid = false;
+        auto it = members.find(oldest.key);
+        if (it != members.end() && --it->second == 0)
+            members.erase(it);
+        head = (head + 1) % slots.size();
+        --numValid;
+    }
+}
+
+bool
+HistoryBuffer::recentlyActivated(std::uint64_t row_key, Cycle now)
+{
+    expire(now);
+    // Equivalent to the hardware's parallel CAM compare across all valid
+    // entries.
+    return members.find(row_key) != members.end();
+}
+
+} // namespace bh

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * RowBlocker-HB: per-rank row-activation history buffer (Section 3.1.2).
+ *
+ * A circular queue of (row key, timestamp, valid) records covering the
+ * last tDelay window. Modeled after the hardware CAM: lookups compare the
+ * queried key against every valid entry; the oldest entry is invalidated
+ * once it ages past tDelay. The buffer is sized for the worst case
+ * ceil(4 * tDelay / tFAW) activations a rank can perform in a tDelay
+ * window, and the implementation panics on overflow — continuously
+ * validating the paper's sizing argument during simulation.
+ */
+
+#ifndef BH_BLOCKHAMMER_HISTORY_BUFFER_HH
+#define BH_BLOCKHAMMER_HISTORY_BUFFER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bh
+{
+
+/** Circular activation-history CAM. */
+class HistoryBuffer
+{
+  public:
+    /**
+     * @param entries capacity (ceil(4 * tDelay / tFAW))
+     * @param t_delay window length in cycles
+     */
+    HistoryBuffer(unsigned entries, Cycle t_delay);
+
+    /** Record an activation of `row_key` at `now`. */
+    void insert(std::uint64_t row_key, Cycle now);
+
+    /** Expire entries older than tDelay. Called before queries. */
+    void expire(Cycle now);
+
+    /** Was `row_key` activated within the last tDelay window? */
+    bool recentlyActivated(std::uint64_t row_key, Cycle now);
+
+    unsigned capacity() const { return static_cast<unsigned>(slots.size()); }
+    unsigned validCount() const { return numValid; }
+    Cycle delayWindow() const { return tDelay; }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        Cycle timestamp = 0;
+        bool valid = false;
+    };
+
+    std::vector<Slot> slots;
+    Cycle tDelay;
+    unsigned head = 0;      ///< oldest entry
+    unsigned tail = 0;      ///< next insertion point
+    unsigned numValid = 0;
+
+    /**
+     * Membership index over the valid slots. The hardware searches all CAM
+     * entries in parallel; the map reproduces that single-cycle lookup in
+     * O(1) instead of a linear scan.
+     */
+    std::unordered_map<std::uint64_t, unsigned> members;
+};
+
+} // namespace bh
+
+#endif // BH_BLOCKHAMMER_HISTORY_BUFFER_HH

@@ -1,0 +1,56 @@
+#include "blockhammer/row_blocker.hh"
+
+namespace bh
+{
+
+RowBlocker::RowBlocker(const BlockHammerConfig &config)
+    : cfg(config), delay(config.tDelay()),
+      // +4 slack over the paper's ceil(4*tDelay/tFAW): a tFAW window
+      // admits one full 4-ACT burst at each edge of the tDelay window.
+      hb(config.historyEntries() + 4, config.tDelay())
+{
+    for (unsigned b = 0; b < cfg.banks; ++b) {
+        filters.push_back(std::make_unique<DualCbf>(
+            cfg.cbf, cfg.tCBF, cfg.seed * 1315423911ull + b + 1));
+    }
+}
+
+bool
+RowBlocker::isSafe(unsigned bank, RowId row, Cycle now)
+{
+    if (!filters[bank]->isBlacklisted(row, cfg.nBL))
+        return true;
+    // Blacklisted: safe only if the row has not been activated within the
+    // last tDelay window.
+    return !hb.recentlyActivated(rankRowKey(bank, row), now);
+}
+
+void
+RowBlocker::onActivate(unsigned bank, RowId row, Cycle now)
+{
+    filters[bank]->insert(row);
+    hb.insert(rankRowKey(bank, row), now);
+}
+
+bool
+RowBlocker::clockTick(Cycle now)
+{
+    bool crossed = false;
+    for (auto &f : filters)
+        crossed |= f->clockTick(now);
+    return crossed;
+}
+
+bool
+RowBlocker::isBlacklisted(unsigned bank, RowId row) const
+{
+    return filters[bank]->isBlacklisted(row, cfg.nBL);
+}
+
+std::uint32_t
+RowBlocker::activationEstimate(unsigned bank, RowId row) const
+{
+    return filters[bank]->activeCount(row);
+}
+
+} // namespace bh

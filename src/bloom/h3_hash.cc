@@ -1,0 +1,23 @@
+#include "bloom/h3_hash.hh"
+
+#include "common/rng.hh"
+
+namespace bh
+{
+
+H3Hash::H3Hash(unsigned output_bits, std::uint64_t seed)
+    : bitsOut(output_bits)
+{
+    mask = (output_bits >= 32) ? 0xffffffffu : ((1u << output_bits) - 1);
+    reseed(seed);
+}
+
+void
+H3Hash::reseed(std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (auto &word : matrix)
+        word = static_cast<std::uint32_t>(rng.next()) & mask;
+}
+
+} // namespace bh

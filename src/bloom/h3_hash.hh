@@ -1,0 +1,53 @@
+/**
+ * @file
+ * H3-class universal hash functions (Carter & Wegman, JCSS 1979).
+ *
+ * The paper indexes its counting Bloom filters with four H3-class hash
+ * functions and rotates each filter's seed whenever the filter is cleared
+ * so an aggressor row aliases with a different set of rows in every epoch
+ * (Section 3.1.1). An H3 hash XORs together a random word per set input
+ * bit; reseeding draws a fresh random matrix.
+ */
+
+#ifndef BH_BLOOM_H3_HASH_HH
+#define BH_BLOOM_H3_HASH_HH
+
+#include <array>
+#include <cstdint>
+
+namespace bh
+{
+
+/** One H3 hash over 64-bit keys producing `outputBits`-wide indices. */
+class H3Hash
+{
+  public:
+    H3Hash(unsigned output_bits, std::uint64_t seed);
+
+    /** Replace the random matrix (called when the owning CBF clears). */
+    void reseed(std::uint64_t seed);
+
+    /** Hash a key into [0, 2^outputBits). */
+    std::uint32_t
+    hash(std::uint64_t key) const
+    {
+        std::uint32_t acc = 0;
+        while (key != 0) {
+            unsigned bit = static_cast<unsigned>(__builtin_ctzll(key));
+            acc ^= matrix[bit];
+            key &= key - 1;
+        }
+        return acc & mask;
+    }
+
+    unsigned outputBits() const { return bitsOut; }
+
+  private:
+    std::array<std::uint32_t, 64> matrix{};
+    std::uint32_t mask;
+    unsigned bitsOut;
+};
+
+} // namespace bh
+
+#endif // BH_BLOOM_H3_HASH_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared last-level cache: 16 MB, 8-way, 64 B lines, LRU, write-back,
+ * write-allocate, with MSHR-based miss merging and writeback retry
+ * (Table 5 of the paper).
+ */
+
+#ifndef BH_CACHE_LLC_HH
+#define BH_CACHE_LLC_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_system.hh"
+
+namespace bh
+{
+
+/** LLC configuration. */
+struct LlcConfig
+{
+    std::uint64_t capacityBytes = 16ull << 20;
+    unsigned ways = 8;
+    Cycle hitLatency = 20;      ///< CPU cycles, L1-to-LLC traversal included
+    Cycle fillLatency = 4;      ///< extra cycles after memory completion
+    unsigned mshrs = 64;
+};
+
+/** Outcome of an LLC access attempt. */
+enum class LlcResult
+{
+    kHit,       ///< on_done already invoked with completion cycle
+    kMiss,      ///< on_done will fire when the fill completes
+    kReject,    ///< resource pressure; retry next cycle
+};
+
+/** Per-thread LLC statistics (drives Table 8's MPKI column). */
+struct ThreadLlcStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+};
+
+/** Shared set-associative write-back LLC. */
+class Llc
+{
+  public:
+    Llc(const LlcConfig &config, MemSystem &mem);
+
+    /**
+     * Access the cache. For hits, `on_done` is invoked synchronously with
+     * the completion cycle; for misses it fires when the memory fill
+     * returns.
+     */
+    LlcResult access(Addr addr, bool is_write, ThreadId thread, Cycle now,
+                     std::function<void(Cycle)> on_done);
+
+    /** Retry stalled writebacks. Call every cycle. */
+    void tick(Cycle now);
+
+    const ThreadLlcStats &threadStats(ThreadId thread) const;
+    std::uint64_t hits() const { return numHits; }
+    std::uint64_t misses() const { return numMisses; }
+    std::uint64_t writebacks() const { return numWritebacks; }
+    std::size_t mshrsInUse() const { return mshr.size(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct MshrEntry
+    {
+        std::vector<std::function<void(Cycle)>> waiters;
+        bool writeIntent = false;
+        ThreadId thread = kNoThread;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / kLineBytes; }
+    std::size_t setIndex(Addr line) const { return line % numSets; }
+    Line *findLine(Addr line);
+    void installLine(Addr line, bool dirty, Cycle now);
+    bool issueWriteback(Addr line, Cycle now);
+
+    LlcConfig cfg;
+    MemSystem &mem;
+    std::size_t numSets;
+    std::vector<Line> lines;            ///< numSets * ways
+    std::uint64_t useCounter = 0;
+    std::unordered_map<Addr, MshrEntry> mshr;
+    std::deque<Addr> wbRetry;
+
+    std::uint64_t numHits = 0;
+    std::uint64_t numMisses = 0;
+    std::uint64_t numWritebacks = 0;
+    mutable std::vector<ThreadLlcStats> perThread;
+    ThreadLlcStats &threadStatsMutable(ThreadId thread);
+};
+
+} // namespace bh
+
+#endif // BH_CACHE_LLC_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bit-field extraction helpers used by address mapping and hashing.
+ */
+
+#ifndef BH_COMMON_BITUTILS_HH
+#define BH_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+namespace bh
+{
+
+/** Extract bits [lo, lo+width) of value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned lo, unsigned width)
+{
+    if (width == 0)
+        return 0;
+    if (width >= 64)
+        return value >> lo;
+    return (value >> lo) & ((1ull << width) - 1);
+}
+
+/** Insert `field` into bits [lo, lo+width) of a zeroed destination. */
+constexpr std::uint64_t
+placeBits(std::uint64_t field, unsigned lo, unsigned width)
+{
+    if (width == 0)
+        return 0;
+    std::uint64_t mask = (width >= 64) ? ~0ull : ((1ull << width) - 1);
+    return (field & mask) << lo;
+}
+
+/** Integer ceil(log2(x)) for x >= 1. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    unsigned n = 0;
+    std::uint64_t v = 1;
+    while (v < x) {
+        v <<= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** True if x is a power of two (x > 0). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Integer ceiling division. */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace bh
+
+#endif // BH_COMMON_BITUTILS_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic() flags a simulator bug (aborts); fatal() flags a user/configuration
+ * error (exits cleanly with an error code); warn()/inform() report status
+ * without stopping the simulation.
+ */
+
+#ifndef BH_COMMON_LOG_HH
+#define BH_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace bh
+{
+
+/** Abort with a message; use for conditions that indicate simulator bugs. */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Exit(1) with a message; use for user configuration errors. */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print a warning about questionable-but-survivable conditions. */
+void warn(const char *fmt, ...);
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...);
+
+} // namespace bh
+
+#endif // BH_COMMON_LOG_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behavior in the simulator (hash seeds, probabilistic
+ * mitigations, workload generation, mix selection) draws from explicitly
+ * seeded streams so every experiment is reproducible bit-for-bit.
+ */
+
+#ifndef BH_COMMON_RNG_HH
+#define BH_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace bh
+{
+
+/**
+ * SplitMix64 generator. Tiny state, good statistical quality for
+ * simulation purposes, and trivially seedable.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(below(
+            static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Fork an independent stream (e.g., one per component). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ull);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace bh
+
+#endif // BH_COMMON_RNG_HH

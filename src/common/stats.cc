@@ -1,0 +1,140 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace bh
+{
+
+Histogram::Histogram(std::size_t max_samples) : maxSamples(max_samples)
+{
+}
+
+void
+Histogram::add(std::int64_t value)
+{
+    if (total == 0) {
+        minVal = maxVal = value;
+    } else {
+        minVal = std::min(minVal, value);
+        maxVal = std::max(maxVal, value);
+    }
+    ++total;
+    sum += static_cast<double>(value);
+    if (maxSamples == 0 || samples.size() < maxSamples) {
+        samples.push_back(value);
+        sorted = false;
+    } else {
+        // Reservoir sampling keeps a uniform subset without growing memory.
+        std::uint64_t slot = (total * 2654435761u) % total;
+        if (slot < samples.size()) {
+            samples[slot] = value;
+            sorted = false;
+        }
+    }
+}
+
+double
+Histogram::mean() const
+{
+    return total ? sum / static_cast<double>(total) : 0.0;
+}
+
+std::int64_t
+Histogram::percentile(double p) const
+{
+    if (samples.empty())
+        return 0;
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+    double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+    auto idx = static_cast<std::size_t>(std::llround(rank));
+    idx = std::min(idx, samples.size() - 1);
+    return samples[idx];
+}
+
+void
+Histogram::clear()
+{
+    total = 0;
+    sum = 0.0;
+    minVal = maxVal = 0;
+    samples.clear();
+    sorted = true;
+}
+
+void
+StatSet::inc(const std::string &name, std::uint64_t delta)
+{
+    counterMap[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    scalarMap[name] = value;
+}
+
+void
+StatSet::sample(const std::string &name, std::int64_t value)
+{
+    histMap[name].add(value);
+}
+
+std::uint64_t
+StatSet::counter(const std::string &name) const
+{
+    auto it = counterMap.find(name);
+    return it == counterMap.end() ? 0 : it->second;
+}
+
+double
+StatSet::scalar(const std::string &name) const
+{
+    auto it = scalarMap.find(name);
+    return it == scalarMap.end() ? 0.0 : it->second;
+}
+
+Histogram &
+StatSet::hist(const std::string &name)
+{
+    return histMap[name];
+}
+
+const Histogram *
+StatSet::findHist(const std::string &name) const
+{
+    auto it = histMap.find(name);
+    return it == histMap.end() ? nullptr : &it->second;
+}
+
+void
+StatSet::clear()
+{
+    counterMap.clear();
+    scalarMap.clear();
+    histMap.clear();
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counterMap)
+        os << name << " " << value << "\n";
+    for (const auto &[name, value] : scalarMap)
+        os << name << " " << value << "\n";
+    for (const auto &[name, h] : histMap) {
+        os << name << ".count " << h.count()
+           << " mean " << h.mean()
+           << " p50 " << h.percentile(50)
+           << " p90 " << h.percentile(90)
+           << " max " << h.max() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace bh

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lightweight statistics: named counters, scalar gauges, and histograms
+ * with percentile queries. Used by every simulator component.
+ */
+
+#ifndef BH_COMMON_STATS_HH
+#define BH_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bh
+{
+
+/**
+ * Streaming histogram over int64 samples with exact percentiles.
+ * Stores raw samples (simulation scale keeps these small); callers that
+ * need bounded memory can enable reservoir sampling.
+ */
+class Histogram
+{
+  public:
+    /** @param max_samples 0 = keep everything; else reservoir-sample. */
+    explicit Histogram(std::size_t max_samples = 0);
+
+    /** Record one sample. */
+    void add(std::int64_t value);
+
+    /** Number of samples recorded (including reservoir-dropped ones). */
+    std::uint64_t count() const { return total; }
+
+    /** Arithmetic mean of all recorded samples. */
+    double mean() const;
+
+    /** Minimum recorded sample (0 if empty). */
+    std::int64_t min() const { return total ? minVal : 0; }
+
+    /** Maximum recorded sample (0 if empty). */
+    std::int64_t max() const { return total ? maxVal : 0; }
+
+    /**
+     * Value at percentile p in [0, 100]. Exact over retained samples.
+     * Returns 0 when empty.
+     */
+    std::int64_t percentile(double p) const;
+
+    /** Drop all samples. */
+    void clear();
+
+  private:
+    std::size_t maxSamples;
+    std::uint64_t total = 0;
+    double sum = 0.0;
+    std::int64_t minVal = 0;
+    std::int64_t maxVal = 0;
+    mutable bool sorted = true;
+    mutable std::vector<std::int64_t> samples;
+};
+
+/**
+ * A named bag of counters and histograms. Components register their stats
+ * here so benches/tests can read them by dotted name.
+ */
+class StatSet
+{
+  public:
+    /** Add delta to counter `name` (created on first use). */
+    void inc(const std::string &name, std::uint64_t delta = 1);
+
+    /** Overwrite scalar `name`. */
+    void set(const std::string &name, double value);
+
+    /** Record a histogram sample under `name`. */
+    void sample(const std::string &name, std::int64_t value);
+
+    /** Counter value (0 if never touched). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Scalar value (0.0 if never set). */
+    double scalar(const std::string &name) const;
+
+    /** Histogram access; creates an empty one if absent. */
+    Histogram &hist(const std::string &name);
+    const Histogram *findHist(const std::string &name) const;
+
+    /** All counters, for dumping. */
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counterMap;
+    }
+
+    /** All scalars, for dumping. */
+    const std::map<std::string, double> &scalars() const
+    {
+        return scalarMap;
+    }
+
+    /** Reset everything to zero/empty. */
+    void clear();
+
+    /** Render all stats as "name value" lines. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counterMap;
+    std::map<std::string, double> scalarMap;
+    std::map<std::string, Histogram> histMap;
+};
+
+} // namespace bh
+
+#endif // BH_COMMON_STATS_HH

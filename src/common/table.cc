@@ -1,0 +1,60 @@
+#include "common/table.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+TextTable::TextTable(std::vector<std::string> header) : head(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != head.size())
+        panic("TextTable row width %zu != header width %zu",
+              row.size(), head.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+    emit(head);
+    std::size_t rule = 0;
+    for (auto w : widths)
+        rule += w + 2;
+    os << std::string(rule, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+} // namespace bh

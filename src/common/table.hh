@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ASCII table renderer for bench output. Benches print paper tables and
+ * figure series as aligned text tables so results are easy to diff.
+ */
+
+#ifndef BH_COMMON_TABLE_HH
+#define BH_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace bh
+{
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with fixed precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render the table with column padding and a separator rule. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace bh
+
+#endif // BH_COMMON_TABLE_HH

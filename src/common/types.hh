@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental scalar types and constants shared across the simulator.
+ */
+
+#ifndef BH_COMMON_TYPES_HH
+#define BH_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace bh
+{
+
+/** Simulation time in CPU cycles (3.2 GHz unless reconfigured). */
+using Cycle = std::int64_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Hardware thread / core identifier. */
+using ThreadId = std::int32_t;
+
+/** DRAM row index within a bank. */
+using RowId = std::uint32_t;
+
+/** Flat bank index within a channel (bank group folded in). */
+using BankId = std::int32_t;
+
+/** CPU clock frequency used to convert between wall time and cycles. */
+constexpr double kCpuFreqGhz = 3.2;
+
+/** Number of CPU cycles per nanosecond. */
+constexpr double kCyclesPerNs = kCpuFreqGhz;
+
+/** Convert nanoseconds to CPU cycles, rounding up (conservative timing). */
+constexpr Cycle
+nsToCycles(double ns)
+{
+    double c = ns * kCyclesPerNs;
+    Cycle whole = static_cast<Cycle>(c);
+    return (static_cast<double>(whole) < c) ? whole + 1 : whole;
+}
+
+/** Convert CPU cycles back to nanoseconds. */
+constexpr double
+cyclesToNs(Cycle cycles)
+{
+    return static_cast<double>(cycles) / kCyclesPerNs;
+}
+
+/** Sentinel for "no thread" (e.g., controller-generated traffic). */
+constexpr ThreadId kNoThread = -1;
+
+/** Cache line size in bytes for the entire hierarchy. */
+constexpr unsigned kLineBytes = 64;
+
+} // namespace bh
+
+#endif // BH_COMMON_TYPES_HH

@@ -1,0 +1,117 @@
+#include "core/core.hh"
+
+namespace bh
+{
+
+Core::Core(const CoreConfig &config, ThreadId thread_id, TraceSource &trace_src,
+           Llc *llc_ptr, MemSystem &mem_system)
+    : cfg(config), thread(thread_id), trace(trace_src), llc(llc_ptr),
+      mem(mem_system)
+{
+}
+
+void
+Core::tick(Cycle now)
+{
+    // Retire in order, up to retireWidth per cycle. A memory instruction at
+    // the window head blocks retirement until its data has returned.
+    for (unsigned r = 0; r < cfg.retireWidth; ++r) {
+        if (instrRetired >= instrIssued)
+            break;
+        if (!pending.empty() && pending.front().pos == instrRetired) {
+            Cycle done = *pending.front().doneAt;
+            if (done < 0 || done > now)
+                break;
+            pending.pop_front();
+        }
+        ++instrRetired;
+    }
+
+    // Issue in order, up to issueWidth per cycle, bounded by the window.
+    bool stalled = false;
+    for (unsigned w = 0; w < cfg.issueWidth; ++w) {
+        if (instrIssued - instrRetired >= cfg.windowSize)
+            break;
+        if (pendingBubbles > 0) {
+            --pendingBubbles;
+            ++instrIssued;
+            continue;
+        }
+        if (havePendingMem) {
+            if (!issueMemOp(now)) {
+                stalled = true;
+                break;      // resource rejection; retry next cycle
+            }
+            havePendingMem = false;
+            ++instrIssued;
+            continue;
+        }
+        TraceEntry entry;
+        if (!trace.next(entry)) {
+            traceEnded = true;
+            break;
+        }
+        pendingBubbles = entry.bubbles;
+        if (entry.isMem) {
+            havePendingMem = true;
+            pendingMem = entry;
+        }
+        if (pendingBubbles == 0 && !entry.isMem)
+            continue;       // empty record, fetch again next slot
+    }
+    if (stalled)
+        ++numStallCycles;
+}
+
+bool
+Core::issueMemOp(Cycle now)
+{
+    // L1-MSHR-style bound on memory-level parallelism.
+    unsigned outstanding = 0;
+    for (const auto &op : pending)
+        if (*op.doneAt < 0 || *op.doneAt > now)
+            ++outstanding;
+    if (outstanding >= cfg.maxOutstandingMem)
+        return false;
+
+    auto done_at = std::make_shared<Cycle>(-1);
+    auto on_done = [done_at](Cycle done) { *done_at = done; };
+
+    if (pendingMem.bypassCache || !llc) {
+        Request req;
+        req.addr = pendingMem.addr;
+        req.type = pendingMem.isWrite ? ReqType::kWrite : ReqType::kRead;
+        req.thread = thread;
+        req.arrival = now;
+        req.id = Request::nextId();
+        if (pendingMem.isWrite) {
+            // Posted write: completes once accepted.
+            if (mem.submit(std::move(req)) != SubmitResult::kAccepted)
+                return false;
+            *done_at = now + 1;
+        } else {
+            req.onComplete = on_done;
+            if (mem.submit(std::move(req)) != SubmitResult::kAccepted)
+                return false;
+        }
+    } else {
+        if (pendingMem.isWrite) {
+            // Stores are posted: retire once the LLC accepts them.
+            LlcResult res = llc->access(pendingMem.addr, true, thread, now,
+                                        nullptr);
+            if (res == LlcResult::kReject)
+                return false;
+            *done_at = now + 1;
+        } else {
+            LlcResult res = llc->access(pendingMem.addr, false, thread, now,
+                                        on_done);
+            if (res == LlcResult::kReject)
+                return false;
+        }
+    }
+    pending.push_back(MemOp{instrIssued, done_at});
+    ++numMemOps;
+    return true;
+}
+
+} // namespace bh

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Simplified out-of-order core (Table 5: 3.2 GHz, 4-wide issue, 128-entry
+ * instruction window). Non-memory instructions execute in one cycle;
+ * memory operations access the shared LLC (or bypass it) and block
+ * retirement until their data returns, bounding memory-level parallelism
+ * by the window size exactly as Ramulator's trace CPU does.
+ */
+
+#ifndef BH_CORE_CORE_HH
+#define BH_CORE_CORE_HH
+
+#include <deque>
+#include <memory>
+
+#include "cache/llc.hh"
+#include "core/trace.hh"
+
+namespace bh
+{
+
+/** Core configuration. */
+struct CoreConfig
+{
+    unsigned issueWidth = 4;
+    unsigned retireWidth = 4;
+    unsigned windowSize = 128;
+    /** Per-core outstanding memory requests (L1 MSHR-equivalent). */
+    unsigned maxOutstandingMem = 48;
+};
+
+/** One hardware thread executing a trace. */
+class Core
+{
+  public:
+    /**
+     * @param thread this core's thread id
+     * @param trace instruction stream (not owned)
+     * @param llc shared cache, or nullptr for cacheless configs
+     * @param mem memory system for bypass accesses
+     */
+    Core(const CoreConfig &config, ThreadId thread, TraceSource &trace,
+         Llc *llc, MemSystem &mem);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** Instructions retired so far. */
+    std::uint64_t retired() const { return instrRetired; }
+
+    /** Memory operations issued so far. */
+    std::uint64_t memOps() const { return numMemOps; }
+
+    /** Cycles the core could not issue due to resource rejection. */
+    std::uint64_t stallCycles() const { return numStallCycles; }
+
+    /** True if the trace ended and all work drained. */
+    bool done() const { return traceEnded && pending.empty(); }
+
+    ThreadId threadId() const { return thread; }
+
+  private:
+    /** An in-flight memory instruction, ordered by window position. */
+    struct MemOp
+    {
+        std::uint64_t pos;              ///< instruction index in the window
+        std::shared_ptr<Cycle> doneAt;  ///< -1 while outstanding
+    };
+
+    bool issueMemOp(Cycle now);
+
+    CoreConfig cfg;
+    ThreadId thread;
+    TraceSource &trace;
+    Llc *llc;
+    MemSystem &mem;
+
+    std::uint64_t instrIssued = 0;
+    std::uint64_t instrRetired = 0;
+    std::uint64_t numMemOps = 0;
+    std::uint64_t numStallCycles = 0;
+
+    std::uint32_t pendingBubbles = 0;
+    bool havePendingMem = false;
+    TraceEntry pendingMem;
+    bool traceEnded = false;
+
+    std::deque<MemOp> pending;
+};
+
+} // namespace bh
+
+#endif // BH_CORE_CORE_HH

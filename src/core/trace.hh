@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Instruction-trace abstraction consumed by the core model.
+ *
+ * A trace entry compresses a run of non-memory instructions ("bubbles")
+ * followed by at most one memory operation, the representation Ramulator's
+ * trace CPU uses. Synthetic workload generators implement TraceSource.
+ */
+
+#ifndef BH_CORE_TRACE_HH
+#define BH_CORE_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace bh
+{
+
+/** One compressed trace record. */
+struct TraceEntry
+{
+    std::uint32_t bubbles = 0;  ///< non-memory instructions before the op
+    bool isMem = false;
+    bool isWrite = false;
+    bool bypassCache = false;   ///< non-temporal / clflush-style access
+    Addr addr = 0;
+};
+
+/** Infinite (or finite) stream of trace entries. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next entry; returns false at end-of-trace. */
+    virtual bool next(TraceEntry &entry) = 0;
+
+    /** Restart the stream from the beginning (deterministic sources). */
+    virtual void reset() = 0;
+};
+
+} // namespace bh
+
+#endif // BH_CORE_TRACE_HH

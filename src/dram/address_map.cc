@@ -1,0 +1,104 @@
+#include "dram/address_map.hh"
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+AddressMapper::AddressMapper(const DramOrg &o, MapScheme scheme,
+                             unsigned mop_width)
+    : org(o)
+{
+    if (!isPow2(org.channels) || !isPow2(org.ranks) ||
+        !isPow2(org.bankGroups) || !isPow2(org.banksPerGroup) ||
+        !isPow2(org.rowsPerBank) || !isPow2(org.linesPerRow)) {
+        fatal("DramOrg dimensions must be powers of two");
+    }
+
+    unsigned ch_bits = ceilLog2(org.channels);
+    unsigned rk_bits = ceilLog2(org.ranks);
+    unsigned bg_bits = ceilLog2(org.bankGroups);
+    unsigned bk_bits = ceilLog2(org.banksPerGroup);
+    unsigned row_bits = ceilLog2(org.rowsPerBank);
+    unsigned col_bits = ceilLog2(org.linesPerRow);
+
+    switch (scheme) {
+      case MapScheme::kRowBankCol:
+        // LSB -> MSB: col, channel, bank, bankgroup, rank, row.
+        addField(Field::kCol, col_bits, 0);
+        addField(Field::kChannel, ch_bits, 0);
+        addField(Field::kBank, bk_bits, 0);
+        addField(Field::kBankGroup, bg_bits, 0);
+        addField(Field::kRank, rk_bits, 0);
+        addField(Field::kRow, row_bits, 0);
+        break;
+      case MapScheme::kMop: {
+        // LSB -> MSB: colLow (MOP block), channel, bankgroup, bank, rank,
+        // colHigh, row. Consecutive MOP blocks hit different bank groups
+        // first (maximizing ACT parallelism) while colHigh keeps many
+        // blocks of one row adjacent in the address space.
+        if (!isPow2(mop_width) || mop_width > org.linesPerRow)
+            fatal("MOP width must be a power of two <= linesPerRow");
+        unsigned low_bits = ceilLog2(mop_width);
+        addField(Field::kCol, low_bits, 0);
+        addField(Field::kChannel, ch_bits, 0);
+        addField(Field::kBankGroup, bg_bits, 0);
+        addField(Field::kBank, bk_bits, 0);
+        addField(Field::kRank, rk_bits, 0);
+        addField(Field::kCol, col_bits - low_bits, low_bits);
+        addField(Field::kRow, row_bits, 0);
+        break;
+      }
+      default:
+        panic("unknown mapping scheme");
+    }
+}
+
+void
+AddressMapper::addField(Field::Kind kind, unsigned width, unsigned sub_lo)
+{
+    if (width == 0)
+        return;
+    fields.push_back(Field{kind, totalBits, width, sub_lo});
+    totalBits += width;
+}
+
+DramCoord
+AddressMapper::decode(Addr byte_addr) const
+{
+    Addr line = byte_addr / kLineBytes;
+    DramCoord c;
+    for (const auto &f : fields) {
+        auto v = static_cast<unsigned>(bits(line, f.lo, f.width)) << f.subLo;
+        switch (f.kind) {
+          case Field::kChannel: c.channel |= v; break;
+          case Field::kRank: c.rank |= v; break;
+          case Field::kBankGroup: c.bankGroup |= v; break;
+          case Field::kBank: c.bank |= v; break;
+          case Field::kRow: c.row |= v; break;
+          case Field::kCol: c.col |= v; break;
+        }
+    }
+    return c;
+}
+
+Addr
+AddressMapper::encode(const DramCoord &coord) const
+{
+    Addr line = 0;
+    for (const auto &f : fields) {
+        std::uint64_t v = 0;
+        switch (f.kind) {
+          case Field::kChannel: v = coord.channel; break;
+          case Field::kRank: v = coord.rank; break;
+          case Field::kBankGroup: v = coord.bankGroup; break;
+          case Field::kBank: v = coord.bank; break;
+          case Field::kRow: v = coord.row; break;
+          case Field::kCol: v = coord.col; break;
+        }
+        line |= placeBits(v >> f.subLo, f.lo, f.width);
+    }
+    return line * kLineBytes;
+}
+
+} // namespace bh

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate mapping.
+ *
+ * Two schemes are provided:
+ *  - kRowBankCol: naive row:bank:column mapping (for tests);
+ *  - kMop: "Minimalist Open-Page" (Kaseridis et al., MICRO'11), the paper's
+ *    mapping (Table 5): small blocks of consecutive lines stay in one row
+ *    while successive blocks interleave across banks, balancing row-buffer
+ *    locality and bank-level parallelism.
+ */
+
+#ifndef BH_DRAM_ADDRESS_MAP_HH
+#define BH_DRAM_ADDRESS_MAP_HH
+
+#include <vector>
+
+#include "dram/org.hh"
+
+namespace bh
+{
+
+/** Supported address-mapping schemes. */
+enum class MapScheme
+{
+    kRowBankCol,
+    kMop,
+};
+
+/**
+ * Bijective mapping between line-granularity physical addresses and DRAM
+ * coordinates. Field layout is derived from the organization at build time.
+ */
+class AddressMapper
+{
+  public:
+    AddressMapper(const DramOrg &org, MapScheme scheme,
+                  unsigned mop_width = 4);
+
+    /** Decode a byte address into DRAM coordinates. */
+    DramCoord decode(Addr byte_addr) const;
+
+    /** Inverse of decode (returns the base byte address of the line). */
+    Addr encode(const DramCoord &coord) const;
+
+    /** Number of address bits consumed above the line offset. */
+    unsigned lineBits() const { return totalBits; }
+
+    const DramOrg &organization() const { return org; }
+
+  private:
+    /** One bit-field of the line address. */
+    struct Field
+    {
+        enum Kind { kChannel, kRank, kBankGroup, kBank, kRow, kCol } kind;
+        unsigned lo;        ///< low bit position in the line address
+        unsigned width;
+        unsigned subLo;     ///< low bit position within the coordinate value
+    };
+
+    void addField(Field::Kind kind, unsigned width, unsigned sub_lo);
+
+    DramOrg org;
+    std::vector<Field> fields;
+    unsigned totalBits = 0;
+};
+
+} // namespace bh
+
+#endif // BH_DRAM_ADDRESS_MAP_HH

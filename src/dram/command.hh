@@ -1,0 +1,38 @@
+/**
+ * @file
+ * DRAM bus commands modeled by the simulator.
+ */
+
+#ifndef BH_DRAM_COMMAND_HH
+#define BH_DRAM_COMMAND_HH
+
+namespace bh
+{
+
+/** Commands a memory controller can issue to the device. */
+enum class DramCommand
+{
+    kAct,   ///< activate (open) a row
+    kPre,   ///< precharge (close) the bank's open row
+    kRd,    ///< column read burst
+    kWr,    ///< column write burst
+    kRef,   ///< all-bank auto refresh
+};
+
+/** Human-readable command name. */
+inline const char *
+commandName(DramCommand cmd)
+{
+    switch (cmd) {
+      case DramCommand::kAct: return "ACT";
+      case DramCommand::kPre: return "PRE";
+      case DramCommand::kRd: return "RD";
+      case DramCommand::kWr: return "WR";
+      case DramCommand::kRef: return "REF";
+    }
+    return "?";
+}
+
+} // namespace bh
+
+#endif // BH_DRAM_COMMAND_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Channel-level DRAM device model: banks plus rank-level constraints
+ * (tRRD, tFAW, data-bus turnaround) and all-bank auto refresh.
+ *
+ * The device enforces timing legality: issue() panics if the controller
+ * violates a constraint, so the controller logic is continuously validated
+ * during every simulation and test run.
+ */
+
+#ifndef BH_DRAM_DEVICE_HH
+#define BH_DRAM_DEVICE_HH
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dram/bank.hh"
+#include "dram/org.hh"
+#include "dram/timing.hh"
+
+namespace bh
+{
+
+/**
+ * One DRAM channel (with its ranks/banks) as seen by a memory controller.
+ */
+class DramDevice
+{
+  public:
+    /** Observer invoked on every command issue (energy, hammer tracking). */
+    using CommandListener = std::function<void(DramCommand, unsigned flat_bank,
+                                               RowId row, Cycle now)>;
+
+    DramDevice(const DramOrg &org, const DramTimings &timings);
+
+    /** Earliest legal issue cycle of `cmd` to `flat_bank`. */
+    Cycle earliest(DramCommand cmd, unsigned flat_bank) const;
+
+    /** True if `cmd` to `flat_bank` is legal at `now`. */
+    bool
+    canIssue(DramCommand cmd, unsigned flat_bank, Cycle now) const
+    {
+        return earliest(cmd, flat_bank) <= now;
+    }
+
+    /** Issue a command; panics on a timing violation. */
+    void issue(DramCommand cmd, unsigned flat_bank, RowId row, Cycle now);
+
+    /** Earliest cycle an all-bank REF may be issued (all banks closed). */
+    Cycle earliestRefresh() const;
+
+    /** True if any bank is currently open (REF requires all closed). */
+    bool anyBankOpen() const;
+
+    /** Issue all-bank refresh; returns the set of row ranges refreshed. */
+    struct RefreshedRange
+    {
+        RowId firstRow;
+        unsigned numRows;
+    };
+    RefreshedRange issueRefresh(Cycle now);
+
+    /** Bank accessors. */
+    const Bank &bank(unsigned flat_bank) const { return banks[flat_bank]; }
+    unsigned numBanks() const { return static_cast<unsigned>(banks.size()); }
+
+    /** Rows refreshed by each REF command (rowsPerBank / refreshes per tREFW). */
+    unsigned rowsPerRefresh() const { return rowsPerRef; }
+
+    /** Register a command listener. */
+    void addListener(CommandListener listener);
+
+    /** Cycles the data bus has been occupied (utilization accounting). */
+    std::uint64_t busBusyCycles() const { return busCycles; }
+
+    /** Number of banks currently open. */
+    unsigned openBankCount() const { return openBanks; }
+
+    const DramOrg &organization() const { return org; }
+    const DramTimings &timings() const { return t; }
+
+    StatSet stats;
+
+  private:
+    DramOrg org;
+    DramTimings t;
+    std::vector<Bank> banks;
+
+    // Rank-level constraints (single rank per channel in the paper config;
+    // modeled per channel for simplicity).
+    Cycle nextActRank = 0;          ///< tRRD
+    Cycle nextRd = 0;               ///< column cmd spacing + turnaround
+    Cycle nextWr = 0;
+    std::array<Cycle, 4> actWindow{{-1, -1, -1, -1}};   ///< tFAW ring
+    unsigned actWindowPos = 0;
+
+    RowId refreshRowPtr = 0;        ///< next row block to auto-refresh
+    unsigned rowsPerRef = 0;
+    unsigned openBanks = 0;
+    std::uint64_t busCycles = 0;
+
+    std::vector<CommandListener> listeners;
+
+    void notify(DramCommand cmd, unsigned flat_bank, RowId row, Cycle now);
+};
+
+} // namespace bh
+
+#endif // BH_DRAM_DEVICE_HH

@@ -1,0 +1,69 @@
+#include "dram/energy.hh"
+
+namespace bh
+{
+
+DramEnergyModel::DramEnergyModel(const DramTimings &timings,
+                                 const DramPowerParams &params)
+    : t(timings), p(params)
+{
+    double scale = rankCurrentScale();
+    double ns = 1e-9;
+    // Energy of one ACT+PRE pair above active-standby background over tRC.
+    perAct = (p.idd0 - p.idd3n) * p.vdd * cyclesToNs(t.tRC) * ns * scale;
+    // Column burst energies above active standby over the burst time.
+    perRead = (p.idd4r - p.idd3n) * p.vdd * cyclesToNs(t.tBL) * ns * scale;
+    perWrite = (p.idd4w - p.idd3n) * p.vdd * cyclesToNs(t.tBL) * ns * scale;
+    // Refresh above precharge standby over tRFC.
+    perRef = (p.idd5b - p.idd2n) * p.vdd * cyclesToNs(t.tRFC) * ns * scale;
+    pActStandby = p.idd3n * p.vdd * scale;
+    pPreStandby = p.idd2n * p.vdd * scale;
+}
+
+void
+DramEnergyModel::onCommand(DramCommand cmd, Cycle)
+{
+    switch (cmd) {
+      case DramCommand::kAct:
+        // PRE energy is folded into the ACT+PRE pair cost.
+        eActPre += perAct;
+        break;
+      case DramCommand::kRd:
+        eRead += perRead;
+        break;
+      case DramCommand::kWr:
+        eWrite += perWrite;
+        break;
+      case DramCommand::kRef:
+        eRefresh += perRef;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+DramEnergyModel::onOpenBankCount(unsigned open_banks, Cycle now)
+{
+    integrateBackground(now);
+    openBanks = open_banks;
+}
+
+void
+DramEnergyModel::integrateBackground(Cycle now)
+{
+    if (now <= lastTransition)
+        return;
+    double dt = cyclesToNs(now - lastTransition) * 1e-9;
+    eBackground += (openBanks > 0 ? pActStandby : pPreStandby) * dt;
+    lastTransition = now;
+}
+
+double
+DramEnergyModel::totalEnergy(Cycle now)
+{
+    integrateBackground(now);
+    return eActPre + eRead + eWrite + eRefresh + eBackground;
+}
+
+} // namespace bh

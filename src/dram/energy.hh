@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DRAM energy model in the style of DRAMPower: per-command incremental
+ * energies from datasheet IDD currents plus state-dependent background
+ * power (active vs. precharged standby).
+ *
+ * The paper reports *normalized* DRAM energy, so the model's job is to get
+ * the relative contributions of activation, read/write, refresh, and
+ * standby energy right, which the IDD formulation does.
+ */
+
+#ifndef BH_DRAM_ENERGY_HH
+#define BH_DRAM_ENERGY_HH
+
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace bh
+{
+
+/** Datasheet current/voltage parameters (per device, x8 DDR4-2400). */
+struct DramPowerParams
+{
+    double vdd = 1.2;       ///< supply voltage (V)
+    double idd0 = 55e-3;    ///< ACT-PRE cycling current (A)
+    double idd2n = 34e-3;   ///< precharge standby
+    double idd3n = 44e-3;   ///< active standby
+    double idd4r = 140e-3;  ///< burst read
+    double idd4w = 130e-3;  ///< burst write
+    double idd5b = 190e-3;  ///< burst refresh
+    unsigned devicesPerRank = 8;
+};
+
+/**
+ * Accumulates energy (Joules) for one channel. Background energy is
+ * integrated lazily on open-bank-count transitions.
+ */
+class DramEnergyModel
+{
+  public:
+    DramEnergyModel(const DramTimings &timings,
+                    const DramPowerParams &params = DramPowerParams{});
+
+    /** Record a command's incremental (non-background) energy. */
+    void onCommand(DramCommand cmd, Cycle now);
+
+    /** Track bank-open transitions for background power. */
+    void onOpenBankCount(unsigned open_banks, Cycle now);
+
+    /** Finalize background integration up to `now` and return total J. */
+    double totalEnergy(Cycle now);
+
+    /** Component breakdown (valid after totalEnergy()). */
+    double actPreEnergy() const { return eActPre; }
+    double readEnergy() const { return eRead; }
+    double writeEnergy() const { return eWrite; }
+    double refreshEnergy() const { return eRefresh; }
+    double backgroundEnergy() const { return eBackground; }
+
+  private:
+    double rankCurrentScale() const
+    {
+        return static_cast<double>(p.devicesPerRank);
+    }
+
+    void integrateBackground(Cycle now);
+
+    DramTimings t;
+    DramPowerParams p;
+
+    double eActPre = 0.0;
+    double eRead = 0.0;
+    double eWrite = 0.0;
+    double eRefresh = 0.0;
+    double eBackground = 0.0;
+
+    unsigned openBanks = 0;
+    Cycle lastTransition = 0;
+
+    // Precomputed per-event energies (J).
+    double perAct, perRead, perWrite, perRef;
+    // Background powers (W).
+    double pActStandby, pPreStandby;
+};
+
+} // namespace bh
+
+#endif // BH_DRAM_ENERGY_HH

@@ -1,0 +1,71 @@
+#include "dram/hammer_observer.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+HammerObserver::HammerObserver(const DramOrg &o, const HammerConfig &config)
+    : org(o), cfg(config), rows(o.rowsPerBank), banks(o.banksPerChannel())
+{
+    std::size_t n = static_cast<std::size_t>(banks) * rows;
+    disturbance.assign(n, 0.0);
+    actCount.assign(n, 0);
+    flipped.assign(n, false);
+    impact.resize(cfg.blastRadius + 1, 0.0);
+    for (unsigned k = 1; k <= cfg.blastRadius; ++k) {
+        impact[k] = 1.0;
+        for (unsigned i = 1; i < k; ++i)
+            impact[k] *= cfg.blastImpactBase;
+    }
+}
+
+void
+HammerObserver::onActivate(unsigned bank, RowId row, Cycle now)
+{
+    ++acts;
+    auto &count = actCount[index(bank, row)];
+    ++count;
+    maxRowActs = std::max<std::uint64_t>(maxRowActs, count);
+
+    for (unsigned k = 1; k <= cfg.blastRadius; ++k) {
+        for (int dir : {-1, 1}) {
+            std::int64_t victim =
+                static_cast<std::int64_t>(row) + dir * static_cast<int>(k);
+            if (victim < 0 || victim >= static_cast<std::int64_t>(rows))
+                continue;
+            std::size_t vi = index(bank, static_cast<RowId>(victim));
+            disturbance[vi] += impact[k];
+            maxDist = std::max(maxDist, disturbance[vi]);
+            if (!flipped[vi] && disturbance[vi] >= cfg.nRH) {
+                flipped[vi] = true;
+                flips.push_back(
+                    BitFlipEvent{bank, static_cast<RowId>(victim), now});
+            }
+        }
+    }
+}
+
+void
+HammerObserver::onRowRefresh(unsigned bank, RowId row)
+{
+    std::size_t i = index(bank, row);
+    disturbance[i] = 0.0;
+    actCount[i] = 0;
+    flipped[i] = false;
+}
+
+void
+HammerObserver::onAutoRefresh(RowId first_row, unsigned num_rows)
+{
+    for (unsigned b = 0; b < banks; ++b) {
+        for (unsigned r = 0; r < num_rows; ++r) {
+            RowId row = static_cast<RowId>((first_row + r) % rows);
+            onRowRefresh(b, row);
+        }
+    }
+}
+
+} // namespace bh

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * DRAM organization: the geometry of the simulated memory (Table 5 of the
+ * paper: 1 channel, 1 rank, 4 bank groups x 4 banks, 64K rows per bank).
+ */
+
+#ifndef BH_DRAM_ORG_HH
+#define BH_DRAM_ORG_HH
+
+#include <cstdint>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace bh
+{
+
+/** Geometry of the DRAM system. All counts must be powers of two. */
+struct DramOrg
+{
+    unsigned channels = 1;
+    unsigned ranks = 1;
+    unsigned bankGroups = 4;
+    unsigned banksPerGroup = 4;
+    unsigned rowsPerBank = 65536;
+    unsigned linesPerRow = 128;     ///< 8 KB row / 64 B lines
+
+    /** Total banks per rank. */
+    unsigned banksPerRank() const { return bankGroups * banksPerGroup; }
+
+    /** Total banks per channel. */
+    unsigned banksPerChannel() const { return ranks * banksPerRank(); }
+
+    /** Total addressable cache lines. */
+    std::uint64_t
+    totalLines() const
+    {
+        return static_cast<std::uint64_t>(channels) * ranks *
+            banksPerRank() * rowsPerBank * linesPerRow;
+    }
+
+    /** Total bytes of DRAM. */
+    std::uint64_t totalBytes() const { return totalLines() * kLineBytes; }
+
+    /** Paper configuration (Table 5). */
+    static DramOrg
+    paperConfig()
+    {
+        return DramOrg{};
+    }
+
+    /** Tiny geometry for fast unit tests. */
+    static DramOrg
+    tinyConfig()
+    {
+        DramOrg o;
+        o.bankGroups = 2;
+        o.banksPerGroup = 2;
+        o.rowsPerBank = 256;
+        o.linesPerRow = 16;
+        return o;
+    }
+};
+
+/** Decoded DRAM coordinates of a physical address. */
+struct DramCoord
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bankGroup = 0;
+    unsigned bank = 0;          ///< bank within group
+    RowId row = 0;
+    unsigned col = 0;           ///< cache-line-granularity column
+
+    /** Flat bank index within the channel. */
+    unsigned
+    flatBank(const DramOrg &org) const
+    {
+        return (rank * org.bankGroups + bankGroup) * org.banksPerGroup + bank;
+    }
+
+    bool
+    operator==(const DramCoord &o) const
+    {
+        return channel == o.channel && rank == o.rank &&
+            bankGroup == o.bankGroup && bank == o.bank &&
+            row == o.row && col == o.col;
+    }
+};
+
+} // namespace bh
+
+#endif // BH_DRAM_ORG_HH

@@ -1,0 +1,44 @@
+#include "dram/timing.hh"
+
+namespace bh
+{
+
+DramTimings
+DramTimings::fromNs(const DramTimingNs &ns)
+{
+    DramTimings t;
+    t.tRCD = nsToCycles(ns.tRCD);
+    t.tCL = nsToCycles(ns.tCL);
+    t.tCWL = nsToCycles(ns.tCWL);
+    t.tRP = nsToCycles(ns.tRP);
+    t.tRAS = nsToCycles(ns.tRAS);
+    t.tRC = nsToCycles(ns.tRC);
+    t.tBL = nsToCycles(ns.tBL);
+    t.tCCD = nsToCycles(ns.tCCD);
+    t.tRRD = nsToCycles(ns.tRRD);
+    t.tFAW = nsToCycles(ns.tFAW);
+    t.tWR = nsToCycles(ns.tWR);
+    t.tWTR = nsToCycles(ns.tWTR);
+    t.tRTP = nsToCycles(ns.tRTP);
+    t.tREFI = nsToCycles(ns.tREFI);
+    t.tRFC = nsToCycles(ns.tRFC);
+    t.tREFW = nsToCycles(ns.tREFW);
+    return t;
+}
+
+DramTimings
+DramTimings::ddr4()
+{
+    return fromNs(DramTimingNs{});
+}
+
+DramTimings
+DramTimings::lpddr4()
+{
+    DramTimingNs ns;
+    ns.tREFW = 32.0e6;
+    ns.tREFI = 3906.25;
+    return fromNs(ns);
+}
+
+} // namespace bh

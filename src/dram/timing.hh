@@ -1,0 +1,58 @@
+/**
+ * @file
+ * DRAM timing parameters. Values are specified in nanoseconds (as found in
+ * datasheets) and converted once to CPU cycles for the simulator core.
+ *
+ * The DDR4 preset matches the values the paper uses (Table 1): tRC=46.25 ns,
+ * tFAW=35 ns, tREFW=64 ms; remaining parameters follow the JEDEC DDR4-2400
+ * speed bin.
+ */
+
+#ifndef BH_DRAM_TIMING_HH
+#define BH_DRAM_TIMING_HH
+
+#include "common/types.hh"
+
+namespace bh
+{
+
+/** Raw datasheet timing values in nanoseconds. */
+struct DramTimingNs
+{
+    double tRCD = 14.16;    ///< ACT to internal RD/WR
+    double tCL = 14.16;     ///< RD to first data beat
+    double tCWL = 10.0;     ///< WR to first data beat
+    double tRP = 14.16;     ///< PRE to ACT
+    double tRAS = 32.0;     ///< ACT to PRE (same bank)
+    double tRC = 46.25;     ///< ACT to ACT (same bank)
+    double tBL = 3.33;      ///< burst duration (8 beats)
+    double tCCD = 5.0;      ///< column command to column command (same type)
+    double tRRD = 4.9;      ///< ACT to ACT (different banks, same rank)
+    double tFAW = 35.0;     ///< four-activation window
+    double tWR = 15.0;      ///< write recovery (last data to PRE)
+    double tWTR = 7.5;      ///< write-to-read turnaround
+    double tRTP = 7.5;      ///< read-to-precharge
+    double tREFI = 7812.5;  ///< average refresh command interval
+    double tRFC = 350.0;    ///< refresh cycle time (all-bank)
+    double tREFW = 64.0e6;  ///< refresh window (64 ms)
+};
+
+/** Timing parameters converted to integer CPU cycles (rounded up). */
+struct DramTimings
+{
+    Cycle tRCD, tCL, tCWL, tRP, tRAS, tRC, tBL, tCCD, tRRD, tFAW;
+    Cycle tWR, tWTR, tRTP, tREFI, tRFC, tREFW;
+
+    /** Construct from datasheet nanosecond values. */
+    static DramTimings fromNs(const DramTimingNs &ns);
+
+    /** Paper configuration: DDR4, tRC=46.25 ns, tFAW=35 ns, tREFW=64 ms. */
+    static DramTimings ddr4();
+
+    /** LPDDR4-style variant: halved refresh window (Section 3.1.3). */
+    static DramTimings lpddr4();
+};
+
+} // namespace bh
+
+#endif // BH_DRAM_TIMING_HH

@@ -1,0 +1,361 @@
+#include "mem/controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+MemController::MemController(DramDevice &device, const ControllerConfig &config,
+                             Mitigation &mitigation, HammerObserver *hammer_obs,
+                             DramEnergyModel *energy_model)
+    : dram(device), cfg(config), mitig(mitigation), hammer(hammer_obs),
+      energy(energy_model), victimQ(device.numBanks()),
+      nextRefreshAt(device.timings().tREFI),
+      hitStreak(device.numBanks(), 0),
+      banks(device.numBanks())
+{
+    mitig.setController(this);
+}
+
+bool
+MemController::enqueue(Request req)
+{
+    auto &queue = (req.type == ReqType::kRead) ? readQ : writeQ;
+    auto cap = (req.type == ReqType::kRead)
+        ? cfg.readQueueSize : cfg.writeQueueSize;
+    if (queue.size() >= cap) {
+        ++numQueueFull;
+        return false;
+    }
+    req.rowHitAtIssue = true;
+    req.neededPrecharge = false;
+    unsigned fb = req.flatBank;
+    if (req.type == ReqType::kRead) {
+        noteInflight(req.thread, fb, +1);
+        ++numReads;
+        if (req.thread >= 0)
+            ++threadStatsMutable(req.thread).reads;
+    } else {
+        ++numWrites;
+        if (req.thread >= 0)
+            ++threadStatsMutable(req.thread).writes;
+    }
+    queue.push_back(std::move(req));
+    return true;
+}
+
+void
+MemController::tick(Cycle now)
+{
+    mitig.tick(now);
+
+    if (!refreshPending && now >= nextRefreshAt)
+        refreshPending = true;
+
+    // At most one command per cycle on the command bus.
+    if (tryRefresh(now))
+        return;
+    if (refreshPending)
+        return;     // all effort goes to closing banks for REF
+    if (tryVictimRefresh(now))
+        return;
+    tryDemand(now);
+}
+
+bool
+MemController::tryRefresh(Cycle now)
+{
+    if (!refreshPending)
+        return false;
+
+    // Close any open bank as soon as legal (one PRE per cycle).
+    for (unsigned fb = 0; fb < banks; ++fb) {
+        if (dram.bank(fb).isOpen() &&
+            dram.canIssue(DramCommand::kPre, fb, now)) {
+            dram.issue(DramCommand::kPre, fb, 0, now);
+            if (energy)
+                energy->onOpenBankCount(dram.openBankCount(), now);
+            return true;
+        }
+    }
+    if (dram.anyBankOpen())
+        return false;
+
+    Cycle e = dram.earliestRefresh();
+    if (e < 0 || now < e)
+        return false;
+
+    auto range = dram.issueRefresh(now);
+    if (energy)
+        energy->onCommand(DramCommand::kRef, now);
+    if (hammer)
+        hammer->onAutoRefresh(range.firstRow, range.numRows);
+    mitig.onAutoRefresh(range.firstRow, range.numRows, now);
+    nextRefreshAt += dram.timings().tREFI;
+    refreshPending = false;
+    ++numRefreshes;
+    return true;
+}
+
+bool
+MemController::tryVictimRefresh(Cycle now)
+{
+    for (unsigned fb = 0; fb < banks; ++fb) {
+        auto &ops = victimQ[fb];
+        if (ops.empty())
+            continue;
+        VictimOp &op = ops.front();
+        if (!op.activated) {
+            if (dram.bank(fb).isOpen()) {
+                if (dram.canIssue(DramCommand::kPre, fb, now)) {
+                    dram.issue(DramCommand::kPre, fb, 0, now);
+                    if (energy)
+                        energy->onOpenBankCount(dram.openBankCount(), now);
+                    return true;
+                }
+                continue;
+            }
+            if (dram.canIssue(DramCommand::kAct, fb, now)) {
+                dram.issue(DramCommand::kAct, fb, op.row, now);
+                if (energy) {
+                    energy->onCommand(DramCommand::kAct, now);
+                    energy->onOpenBankCount(dram.openBankCount(), now);
+                }
+                if (hammer) {
+                    // Victim refreshes restore the row's charge. Like the
+                    // paper's Ramulator model (and all baseline papers) we
+                    // do not feed the refresh ACT back into the disturbance
+                    // model; see DESIGN.md "refresh-induced disturbance".
+                    hammer->onRowRefresh(fb, op.row);
+                }
+                op.activated = true;
+                return true;
+            }
+        } else {
+            // The refresh's row-restore completed at ACT time; the PRE is
+            // cleanup. Another path (refresh drain, demand precharge) may
+            // have already closed — or even re-opened — the bank.
+            if (!dram.bank(fb).isOpen() ||
+                dram.bank(fb).openRow() != op.row) {
+                ops.pop_front();
+                ++numVictimDone;
+                continue;
+            }
+            if (dram.canIssue(DramCommand::kPre, fb, now)) {
+                dram.issue(DramCommand::kPre, fb, 0, now);
+                if (energy)
+                    energy->onOpenBankCount(dram.openBankCount(), now);
+                ops.pop_front();
+                ++numVictimDone;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+MemController::tryDemand(Cycle now)
+{
+    // Write drain hysteresis.
+    if (drainingWrites) {
+        if (writeQ.size() <= cfg.writeLowWatermark)
+            drainingWrites = false;
+    } else {
+        if (writeQ.size() >= cfg.writeHighWatermark)
+            drainingWrites = true;
+    }
+    // While draining, alternate read/write priority so a sustained write
+    // flood (e.g., a non-temporal copy) cannot monopolize the command bus
+    // and starve readers.
+    drainToggle = !drainToggle;
+    bool serve_writes = (drainingWrites && drainToggle) || readQ.empty();
+    auto &primary = serve_writes ? writeQ : readQ;
+    auto &secondary = serve_writes ? readQ : writeQ;
+
+    auto capped = [&](unsigned bank) {
+        return hitStreak[bank] >= cfg.rowHitCap;
+    };
+    // 1. Row-buffer hits from the primary queue.
+    if (auto idx = scheduler.pickColumnReady(primary, dram, now, capped)) {
+        issueColumn(primary, *idx, now);
+        return true;
+    }
+    // 2. Opportunistic hits from the secondary queue.
+    if (auto idx = scheduler.pickColumnReady(secondary, dram, now, capped)) {
+        issueColumn(secondary, *idx, now);
+        return true;
+    }
+    // 3. Row preparation, honoring the mitigation's safety verdict.
+    auto act_filter = [&](const Request &req) {
+        unsigned fb = req.flatBank;
+        bool safe = mitig.isActSafe(fb, req.coord.row, req.thread, now);
+        if (!safe)
+            ++numActBlocked;
+        return safe;
+    };
+    if (auto idx = scheduler.pickRowPrep(primary, dram, now, act_filter,
+                                         capped)) {
+        if (issuePrep(primary, *idx, now))
+            return true;
+    }
+    if (auto idx = scheduler.pickRowPrep(secondary, dram, now, act_filter,
+                                         capped)) {
+        if (issuePrep(secondary, *idx, now))
+            return true;
+    }
+    return false;
+}
+
+void
+MemController::issueColumn(std::deque<Request> &queue, std::size_t idx,
+                           Cycle now)
+{
+    Request &req = queue[idx];
+    unsigned fb = req.flatBank;
+    DramCommand cmd = (req.type == ReqType::kRead)
+        ? DramCommand::kRd : DramCommand::kWr;
+    dram.issue(cmd, fb, req.coord.row, now);
+    if (energy)
+        energy->onCommand(cmd, now);
+
+    // Row-hit streak accounting for FR-FCFS-Cap.
+    if (req.rowHitAtIssue && !req.neededPrecharge)
+        ++hitStreak[fb];
+
+    // Row-buffer interaction classification at first (only) service.
+    if (req.neededPrecharge) {
+        ++numRowConflicts;
+        if (req.thread >= 0)
+            ++threadStatsMutable(req.thread).rowConflicts;
+    } else if (req.rowHitAtIssue) {
+        ++numRowHits;
+        if (req.thread >= 0)
+            ++threadStatsMutable(req.thread).rowHits;
+    } else {
+        ++numRowMisses;
+        if (req.thread >= 0)
+            ++threadStatsMutable(req.thread).rowMisses;
+    }
+
+    const auto &t = dram.timings();
+    Cycle done = (req.type == ReqType::kRead)
+        ? now + t.tCL + t.tBL
+        : now + t.tCWL + t.tBL;
+    if (req.type == ReqType::kRead)
+        noteInflight(req.thread, fb, -1);
+    stats.sample("mc.latency", done - req.arrival);
+    if (req.onComplete)
+        req.onComplete(done);
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+bool
+MemController::issuePrep(std::deque<Request> &queue, std::size_t idx,
+                         Cycle now)
+{
+    Request &req = queue[idx];
+    unsigned fb = req.flatBank;
+    const Bank &bank = dram.bank(fb);
+    if (bank.isOpen()) {
+        dram.issue(DramCommand::kPre, fb, 0, now);
+        if (energy)
+            energy->onOpenBankCount(dram.openBankCount(), now);
+        req.neededPrecharge = true;
+        ++numPreDemand;
+        return true;
+    }
+    dram.issue(DramCommand::kAct, fb, req.coord.row, now);
+    hitStreak[fb] = 0;
+    if (energy) {
+        energy->onCommand(DramCommand::kAct, now);
+        energy->onOpenBankCount(dram.openBankCount(), now);
+    }
+    if (hammer)
+        hammer->onActivate(fb, req.coord.row, now);
+    mitig.onActivate(fb, req.coord.row, req.thread, now);
+    req.rowHitAtIssue = false;
+    ++numActDemand;
+    if (req.thread >= 0)
+        ++threadStatsMutable(req.thread).activates;
+    return true;
+}
+
+void
+MemController::scheduleVictimRefresh(unsigned flat_bank, RowId row)
+{
+    victimQ[flat_bank].push_back(VictimOp{row, false});
+    ++numVictimScheduled;
+}
+
+std::size_t
+MemController::pendingVictimRefreshes() const
+{
+    std::size_t n = 0;
+    for (const auto &q : victimQ)
+        n += q.size();
+    return n;
+}
+
+int
+MemController::inflight(ThreadId thread, unsigned flat_bank) const
+{
+    if (thread < 0)
+        return 0;
+    std::size_t i = static_cast<std::size_t>(thread) * banks + flat_bank;
+    if (i >= inflightCount.size())
+        return 0;
+    return inflightCount[i];
+}
+
+const ThreadMemStats &
+MemController::threadStats(ThreadId thread) const
+{
+    static const ThreadMemStats empty;
+    if (thread < 0 ||
+        static_cast<std::size_t>(thread) >= perThread.size()) {
+        return empty;
+    }
+    return perThread[static_cast<std::size_t>(thread)];
+}
+
+ThreadMemStats &
+MemController::threadStatsMutable(ThreadId thread)
+{
+    auto i = static_cast<std::size_t>(thread);
+    if (i >= perThread.size())
+        perThread.resize(i + 1);
+    return perThread[i];
+}
+
+void
+MemController::noteInflight(ThreadId thread, unsigned bank, int delta)
+{
+    if (thread < 0)
+        return;
+    std::size_t i = static_cast<std::size_t>(thread) * banks + bank;
+    if (i >= inflightCount.size())
+        inflightCount.resize(i + 1, 0);
+    inflightCount[i] += delta;
+}
+
+void
+MemController::syncStats()
+{
+    stats.inc("mc.reads", numReads);
+    stats.inc("mc.writes", numWrites);
+    stats.inc("mc.queue_full", numQueueFull);
+    stats.inc("mc.row_hit", numRowHits);
+    stats.inc("mc.row_miss", numRowMisses);
+    stats.inc("mc.row_conflict", numRowConflicts);
+    stats.inc("mc.act_demand", numActDemand);
+    stats.inc("mc.act_blocked", numActBlocked);
+    stats.inc("mc.pre_demand", numPreDemand);
+    stats.inc("mc.victim_refresh_scheduled", numVictimScheduled);
+    stats.inc("mc.victim_refresh_done", numVictimDone);
+    stats.inc("mc.refreshes", numRefreshes);
+}
+
+} // namespace bh

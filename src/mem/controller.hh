@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Cycle-level DRAM memory controller for one channel.
+ *
+ * Models the paper's Table 5 controller: 64-entry read and write queues,
+ * FR-FCFS scheduling, open-page row policy, write draining between
+ * watermarks, periodic all-bank refresh, a victim-refresh side channel for
+ * reactive mitigation mechanisms, and the BlockHammer safety-query hook in
+ * front of every demand activation.
+ */
+
+#ifndef BH_MEM_CONTROLLER_HH
+#define BH_MEM_CONTROLLER_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dram/device.hh"
+#include "dram/energy.hh"
+#include "dram/hammer_observer.hh"
+#include "mem/mitigation.hh"
+#include "mem/request.hh"
+#include "mem/scheduler.hh"
+
+namespace bh
+{
+
+/** Controller tuning knobs. */
+struct ControllerConfig
+{
+    unsigned readQueueSize = 64;
+    unsigned writeQueueSize = 64;
+    unsigned writeHighWatermark = 48;   ///< start draining writes
+    unsigned writeLowWatermark = 16;    ///< stop draining writes
+    /**
+     * FR-FCFS-Cap: consecutive row hits a bank may serve while a
+     * conflicting request waits, bounding streaming-thread bank capture.
+     */
+    unsigned rowHitCap = 8;
+};
+
+/** Per-thread row-buffer interaction counters. */
+struct ThreadMemStats
+{
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t rowConflicts = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t activates = 0;
+};
+
+/** One memory channel's controller. */
+class MemController
+{
+  public:
+    MemController(DramDevice &device, const ControllerConfig &config,
+                  Mitigation &mitigation, HammerObserver *hammer,
+                  DramEnergyModel *energy);
+
+    /** Try to accept a request; false if the target queue is full. */
+    bool enqueue(Request req);
+
+    /** Advance one cycle: refresh, victim refreshes, demand scheduling. */
+    void tick(Cycle now);
+
+    /**
+     * Schedule a victim-row refresh (reactive mitigations). The refresh is
+     * an ACT+PRE pair that occupies the bank; it is exempt from the
+     * mitigation's own safety query to avoid self-feedback.
+     */
+    void scheduleVictimRefresh(unsigned flat_bank, RowId row);
+
+    /** Pending victim refreshes not yet completed. */
+    std::size_t pendingVictimRefreshes() const;
+
+    /** Queue occupancy. */
+    std::size_t readQueueDepth() const { return readQ.size(); }
+    std::size_t writeQueueDepth() const { return writeQ.size(); }
+
+    /** In-flight (accepted, not yet serviced) reads for <thread, bank>. */
+    int inflight(ThreadId thread, unsigned flat_bank) const;
+
+    /** Per-thread row-buffer statistics. */
+    const ThreadMemStats &threadStats(ThreadId thread) const;
+
+    /** Aggregate counters. */
+    std::uint64_t demandActivations() const { return numActDemand; }
+    std::uint64_t blockedActQueries() const { return numActBlocked; }
+    std::uint64_t victimRefreshesDone() const { return numVictimDone; }
+    std::uint64_t refreshes() const { return numRefreshes; }
+    std::uint64_t rowHits() const { return numRowHits; }
+    std::uint64_t rowMisses() const { return numRowMisses; }
+    std::uint64_t rowConflicts() const { return numRowConflicts; }
+
+    /** Publish counters into `stats` (call once after a run). */
+    void syncStats();
+
+    const DramDevice &device() const { return dram; }
+    Mitigation &mitigation() { return mitig; }
+
+    StatSet stats;
+
+  private:
+    /** Victim refresh progress per bank. */
+    struct VictimOp
+    {
+        RowId row;
+        bool activated = false;
+    };
+
+    bool tryRefresh(Cycle now);
+    bool tryVictimRefresh(Cycle now);
+    bool tryDemand(Cycle now);
+    void issueColumn(std::deque<Request> &queue, std::size_t idx, Cycle now);
+    bool issuePrep(std::deque<Request> &queue, std::size_t idx, Cycle now);
+    void noteInflight(ThreadId thread, unsigned bank, int delta);
+    ThreadMemStats &threadStatsMutable(ThreadId thread);
+
+    DramDevice &dram;
+    ControllerConfig cfg;
+    Mitigation &mitig;
+    HammerObserver *hammer;
+    DramEnergyModel *energy;
+    FrFcfsScheduler scheduler;
+
+    std::deque<Request> readQ;
+    std::deque<Request> writeQ;
+    std::vector<std::deque<VictimOp>> victimQ;  ///< per bank
+
+    bool drainingWrites = false;
+    bool drainToggle = false;
+    Cycle nextRefreshAt;
+    bool refreshPending = false;
+
+    std::vector<int> inflightCount;     ///< [thread * banks + bank]
+    std::vector<unsigned> hitStreak;    ///< consecutive row hits per bank
+    mutable std::vector<ThreadMemStats> perThread;
+    unsigned banks;
+
+    std::uint64_t numReads = 0;
+    std::uint64_t numWrites = 0;
+    std::uint64_t numQueueFull = 0;
+    std::uint64_t numRowHits = 0;
+    std::uint64_t numRowMisses = 0;
+    std::uint64_t numRowConflicts = 0;
+    std::uint64_t numActDemand = 0;
+    std::uint64_t numActBlocked = 0;
+    std::uint64_t numPreDemand = 0;
+    std::uint64_t numVictimScheduled = 0;
+    std::uint64_t numVictimDone = 0;
+    std::uint64_t numRefreshes = 0;
+};
+
+} // namespace bh
+
+#endif // BH_MEM_CONTROLLER_HH

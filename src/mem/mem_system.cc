@@ -1,0 +1,47 @@
+#include "mem/mem_system.hh"
+
+namespace bh
+{
+
+MemSystem::MemSystem(const MemSystemConfig &config,
+                     std::unique_ptr<Mitigation> mitigation)
+    : cfg(config), mitig(std::move(mitigation))
+{
+    map = std::make_unique<AddressMapper>(cfg.org, cfg.scheme);
+    dram = std::make_unique<DramDevice>(cfg.org, cfg.timings);
+    if (cfg.enableEnergy)
+        energy = std::make_unique<DramEnergyModel>(cfg.timings);
+    if (cfg.enableHammerObserver)
+        hammer = std::make_unique<HammerObserver>(cfg.org, cfg.hammer);
+    ctrl = std::make_unique<MemController>(*dram, cfg.ctrl, *mitig,
+                                           hammer.get(), energy.get());
+}
+
+SubmitResult
+MemSystem::submit(Request req)
+{
+    req.coord = map->decode(req.addr);
+    req.flatBank = req.coord.flatBank(cfg.org);
+    unsigned fb = req.flatBank;
+
+    // AttackThrottler quota: reject new reads for <thread, bank> pairs
+    // whose in-flight count has reached the mechanism's quota.
+    if (req.type == ReqType::kRead && req.thread >= 0) {
+        int q = mitig->quota(req.thread, fb);
+        if (q >= 0 && ctrl->inflight(req.thread, fb) >= q) {
+            ++numQuotaRejects;
+            return SubmitResult::kQuotaExceeded;
+        }
+    }
+    if (!ctrl->enqueue(std::move(req)))
+        return SubmitResult::kQueueFull;
+    return SubmitResult::kAccepted;
+}
+
+double
+MemSystem::totalEnergy(Cycle now)
+{
+    return energy ? energy->totalEnergy(now) : 0.0;
+}
+
+} // namespace bh

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Single-channel memory system: glues together address mapping, the DRAM
+ * device, energy model, RowHammer failure oracle, the controller, and the
+ * installed mitigation mechanism. Enforces AttackThrottler-style quotas at
+ * the admission boundary.
+ */
+
+#ifndef BH_MEM_MEM_SYSTEM_HH
+#define BH_MEM_MEM_SYSTEM_HH
+
+#include <memory>
+
+#include "dram/address_map.hh"
+#include "mem/controller.hh"
+
+namespace bh
+{
+
+/** Aggregate configuration for a memory system instance. */
+struct MemSystemConfig
+{
+    DramOrg org = DramOrg::paperConfig();
+    DramTimings timings = DramTimings::ddr4();
+    MapScheme scheme = MapScheme::kMop;
+    ControllerConfig ctrl;
+    HammerConfig hammer;
+    bool enableHammerObserver = true;
+    bool enableEnergy = true;
+};
+
+/** Why a submit() was rejected. */
+enum class SubmitResult
+{
+    kAccepted,
+    kQueueFull,
+    kQuotaExceeded,
+};
+
+/** The full memory subsystem behind the LLC. */
+class MemSystem
+{
+  public:
+    MemSystem(const MemSystemConfig &config,
+              std::unique_ptr<Mitigation> mitigation);
+
+    /** Decode, check quota, and enqueue a request. */
+    SubmitResult submit(Request req);
+
+    /** Advance one cycle. */
+    void tick(Cycle now) { ctrl->tick(now); }
+
+    /** Total DRAM energy in Joules up to `now`. */
+    double totalEnergy(Cycle now);
+
+    MemController &controller() { return *ctrl; }
+    const MemController &controller() const { return *ctrl; }
+    DramDevice &device() { return *dram; }
+    const AddressMapper &mapper() const { return *map; }
+    Mitigation &mitigation() { return *mitig; }
+    HammerObserver *hammerObserver() { return hammer.get(); }
+    DramEnergyModel *energyModel() { return energy.get(); }
+
+    /** Number of rejected submissions due to quota (throttling pressure). */
+    std::uint64_t quotaRejects() const { return numQuotaRejects; }
+
+  private:
+    MemSystemConfig cfg;
+    std::unique_ptr<AddressMapper> map;
+    std::unique_ptr<DramDevice> dram;
+    std::unique_ptr<DramEnergyModel> energy;
+    std::unique_ptr<HammerObserver> hammer;
+    std::unique_ptr<Mitigation> mitig;
+    std::unique_ptr<MemController> ctrl;
+    std::uint64_t numQuotaRejects = 0;
+};
+
+} // namespace bh
+
+#endif // BH_MEM_MEM_SYSTEM_HH

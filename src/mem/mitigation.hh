@@ -1,0 +1,96 @@
+/**
+ * @file
+ * RowHammer mitigation mechanism interface.
+ *
+ * The memory controller consults the installed mechanism before issuing a
+ * demand row activation (proactive throttling, used by BlockHammer), informs
+ * it of every demand activation and auto refresh, and reads per-thread
+ * request quotas (AttackThrottler). Reactive-refresh mechanisms (PARA, CBT,
+ * TWiCe, Graphene, ...) respond to onActivate() by scheduling victim-row
+ * refreshes through the controller, which occupy DRAM banks like real
+ * ACT+PRE pairs — so the performance and energy cost of reactive refresh is
+ * modeled faithfully.
+ */
+
+#ifndef BH_MEM_MITIGATION_HH
+#define BH_MEM_MITIGATION_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace bh
+{
+
+class MemController;
+
+/** Abstract RowHammer mitigation mechanism plugged into the controller. */
+class Mitigation
+{
+  public:
+    virtual ~Mitigation() = default;
+
+    /** Mechanism name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Is it RowHammer-safe to activate (bank, row) for `thread` at `now`?
+     * Returning false blocks the activation; the controller will retry and
+     * keeps issuing other, safe requests meanwhile.
+     */
+    virtual bool
+    isActSafe(unsigned bank, RowId row, ThreadId thread, Cycle now)
+    {
+        (void)bank; (void)row; (void)thread; (void)now;
+        return true;
+    }
+
+    /** A demand activation was issued. */
+    virtual void
+    onActivate(unsigned bank, RowId row, ThreadId thread, Cycle now)
+    {
+        (void)bank; (void)row; (void)thread; (void)now;
+    }
+
+    /** An all-bank auto refresh covered [first_row, first_row+num_rows). */
+    virtual void
+    onAutoRefresh(RowId first_row, unsigned num_rows, Cycle now)
+    {
+        (void)first_row; (void)num_rows; (void)now;
+    }
+
+    /** Per-cycle housekeeping (epoch clocks, pruning, ...). */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /**
+     * Maximum in-flight read requests <thread, bank> may have; negative
+     * means unlimited. Implements AttackThrottler-style quotas.
+     */
+    virtual int
+    quota(ThreadId thread, unsigned bank) const
+    {
+        (void)thread; (void)bank;
+        return -1;
+    }
+
+    /** Wire up the owning controller (for victim-refresh scheduling). */
+    virtual void setController(MemController *mc) { controller = mc; }
+
+    /** Mechanism-specific statistics. */
+    StatSet stats;
+
+  protected:
+    MemController *controller = nullptr;
+};
+
+/** No-op mechanism: the unprotected baseline system. */
+class NullMitigation : public Mitigation
+{
+  public:
+    std::string name() const override { return "Baseline"; }
+};
+
+} // namespace bh
+
+#endif // BH_MEM_MITIGATION_HH

@@ -1,0 +1,15 @@
+#include "mem/request.hh"
+
+#include <atomic>
+
+namespace bh
+{
+
+std::uint64_t
+Request::nextId()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace bh

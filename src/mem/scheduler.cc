@@ -1,0 +1,99 @@
+#include "mem/scheduler.hh"
+
+#include <array>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+namespace
+{
+/** Upper bound on banks per channel for stack-allocated scratch state. */
+constexpr unsigned kMaxBanks = 64;
+} // namespace
+
+std::optional<std::size_t>
+FrFcfsScheduler::pickColumnReady(const std::deque<Request> &queue,
+                                 const DramDevice &dram, Cycle now,
+                                 const StreakCapped &capped) const
+{
+    unsigned nbanks = dram.numBanks();
+    if (nbanks > kMaxBanks)
+        panic("FrFcfsScheduler supports at most %u banks", kMaxBanks);
+
+    // A capped bank only stops serving hits if someone is waiting for a
+    // different row in it; otherwise capping would just waste bandwidth.
+    std::array<bool, kMaxBanks> conflict_waiting{};
+    for (const auto &req : queue) {
+        const Bank &bank = dram.bank(req.flatBank);
+        if (bank.isOpen() && bank.openRow() != req.coord.row)
+            conflict_waiting[req.flatBank] = true;
+    }
+
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Request &req = queue[i];
+        unsigned fb = req.flatBank;
+        const Bank &bank = dram.bank(fb);
+        if (!bank.isOpen() || bank.openRow() != req.coord.row)
+            continue;
+        if (conflict_waiting[fb] && capped && capped(fb))
+            continue;
+        DramCommand cmd = (req.type == ReqType::kRead)
+            ? DramCommand::kRd : DramCommand::kWr;
+        if (dram.canIssue(cmd, fb, now))
+            return i;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t>
+FrFcfsScheduler::pickRowPrep(const std::deque<Request> &queue,
+                             const DramDevice &dram, Cycle now,
+                             const ActFilter &act_allowed,
+                             const StreakCapped &capped) const
+{
+    unsigned nbanks = dram.numBanks();
+    if (nbanks > kMaxBanks)
+        panic("FrFcfsScheduler supports at most %u banks", kMaxBanks);
+
+    // Banks that still have a pending row-hit request keep their row open
+    // — unless their hit streak has been capped.
+    std::array<bool, kMaxBanks> keep_open{};
+    for (const auto &req : queue) {
+        unsigned fb = req.flatBank;
+        const Bank &bank = dram.bank(fb);
+        if (bank.isOpen() && bank.openRow() == req.coord.row)
+            keep_open[fb] = !(capped && capped(fb));
+    }
+
+    // Only the oldest request per bank may prepare that bank this cycle;
+    // an unsafe (mitigation-blocked) oldest request does not stop a younger
+    // safe request to the same bank from being considered.
+    std::array<bool, kMaxBanks> prepared{};
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Request &req = queue[i];
+        unsigned fb = req.flatBank;
+        if (prepared[fb])
+            continue;
+        const Bank &bank = dram.bank(fb);
+        if (bank.isOpen()) {
+            if (bank.openRow() == req.coord.row)
+                continue;   // column path will serve it
+            if (keep_open[fb])
+                continue;   // row reuse pending; don't close
+            if (dram.canIssue(DramCommand::kPre, fb, now))
+                return i;
+            prepared[fb] = true;
+        } else {
+            if (!act_allowed(req))
+                continue;   // blocked as RowHammer-unsafe; try younger ones
+            if (dram.canIssue(DramCommand::kAct, fb, now))
+                return i;
+            prepared[fb] = true;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace bh

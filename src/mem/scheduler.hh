@@ -1,0 +1,60 @@
+/**
+ * @file
+ * FR-FCFS request selection (Rixner et al., ISCA 2000), factored out of the
+ * controller for testability: row-buffer-hit requests first, then oldest.
+ */
+
+#ifndef BH_MEM_SCHEDULER_HH
+#define BH_MEM_SCHEDULER_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "dram/device.hh"
+#include "mem/request.hh"
+
+namespace bh
+{
+
+/** Stateless FR-FCFS policy over a request queue. */
+class FrFcfsScheduler
+{
+  public:
+    /** Predicate deciding if a request's ACT may be issued (mitigation). */
+    using ActFilter = std::function<bool(const Request &)>;
+
+    /**
+     * Predicate deciding if a bank's row-hit streak has been capped:
+     * capped banks stop serving further row hits (and may be closed) so
+     * one streaming thread cannot capture a bank indefinitely.
+     */
+    using StreakCapped = std::function<bool(unsigned bank)>;
+
+    /**
+     * Pick the index of the oldest row-buffer-hit request whose column
+     * command is legal at `now`, or nullopt. Hits to streak-capped banks
+     * are skipped when an older conflicting request is waiting.
+     */
+    std::optional<std::size_t>
+    pickColumnReady(const std::deque<Request> &queue, const DramDevice &dram,
+                    Cycle now, const StreakCapped &capped) const;
+
+    /**
+     * Pick the oldest request that needs (and can start) row preparation:
+     * an ACT on a closed bank or a PRE on a conflicting open row.
+     *
+     * Skips banks where a row-hit request is still pending (don't close
+     * useful rows — unless the bank's streak is capped) and requests whose
+     * ACT the mitigation blocks — this is how RowHammer-safe requests are
+     * prioritized over unsafe ones (Section 3.1 of the paper).
+     */
+    std::optional<std::size_t>
+    pickRowPrep(const std::deque<Request> &queue, const DramDevice &dram,
+                Cycle now, const ActFilter &act_allowed,
+                const StreakCapped &capped) const;
+};
+
+} // namespace bh
+
+#endif // BH_MEM_SCHEDULER_HH

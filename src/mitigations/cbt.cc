@@ -1,0 +1,110 @@
+#include "mitigations/cbt.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "mem/controller.hh"
+
+namespace bh
+{
+
+Cbt::Cbt(const MitigationSettings &settings, unsigned levels,
+         unsigned max_counters)
+    : cfg(settings), numLevels(levels), maxCounters(max_counters),
+      trees(settings.banks), nextReset(settings.timings.tREFW)
+{
+    // Auto-scaling: one extra tree level (and 2x counters) per halving of
+    // the RowHammer threshold below 32K, so leaf regions shrink as the
+    // trigger thresholds do.
+    if (numLevels == 0) {
+        numLevels = 6;
+        for (std::uint32_t t = 32768; t > cfg.nRH && numLevels < 16; t /= 2)
+            ++numLevels;
+    }
+    if (maxCounters == 0) {
+        maxCounters = 125;
+        for (std::uint32_t t = 32768; t > cfg.nRH; t /= 2)
+            maxCounters *= 2;
+    }
+    // Exponential thresholds doubling per level (the paper describes
+    // 1K -> N_RH for N_RH = 32K). Children restart counting at zero on a
+    // split, so a single row can consume at most sum(T_l) activations
+    // before its leaf region is refreshed; the leaf threshold is chosen
+    // so that the path sum stays within the effective per-aggressor
+    // budget: sum(T5 / 2^k) < 2 * T5 = effectiveNRH.
+    double top = static_cast<double>(
+        std::max<std::uint32_t>(2, cfg.effectiveNRH() / 2));
+    levelThr.resize(numLevels);
+    for (unsigned l = 0; l < numLevels; ++l) {
+        double t = top / std::pow(2.0, static_cast<double>(
+            numLevels - 1 - l));
+        levelThr[l] = std::max<std::uint32_t>(
+            2, static_cast<std::uint32_t>(std::llround(t)));
+    }
+    for (auto &tree : trees)
+        resetBank(tree);
+}
+
+void
+Cbt::resetBank(BankTree &tree)
+{
+    tree.regions.clear();
+    tree.regions.push_back(Region{0, cfg.rowsPerBank, 0, 0});
+}
+
+void
+Cbt::refreshRegion(unsigned bank, const Region &region)
+{
+    for (RowId r = region.lo; r < region.hi; ++r)
+        controller->scheduleVictimRefresh(bank, r);
+    ++numRegionRefreshes;
+    numRowsRefreshed += region.hi - region.lo;
+}
+
+void
+Cbt::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
+{
+    auto &tree = trees[bank];
+    // Find the region containing `row` (regions are sorted and disjoint).
+    auto it = std::upper_bound(
+        tree.regions.begin(), tree.regions.end(), row,
+        [](RowId r, const Region &reg) { return r < reg.lo; });
+    if (it == tree.regions.begin())
+        panic("CBT region cover broken");
+    --it;
+
+    ++it->count;
+    if (it->count < levelThr[it->level])
+        return;
+
+    bool can_split = it->level + 1 < numLevels &&
+        tree.regions.size() < maxCounters &&
+        (it->hi - it->lo) >= 2;
+    if (can_split) {
+        // Split: children restart at zero; the per-level threshold ladder
+        // (not count inheritance) bounds any single row's headroom.
+        Region left{it->lo, it->lo + (it->hi - it->lo) / 2,
+                    it->level + 1, 0};
+        Region right{left.hi, it->hi, it->level + 1, 0};
+        *it = left;
+        tree.regions.insert(it + 1, right);
+    } else {
+        // Deepest level (or out of counters): refresh the whole region.
+        refreshRegion(bank, *it);
+        it->count = 0;
+    }
+}
+
+void
+Cbt::tick(Cycle now)
+{
+    // All counters reset each refresh window; the tree collapses.
+    if (now >= nextReset) {
+        for (auto &tree : trees)
+            resetBank(tree);
+        nextReset += cfg.timings.tREFW;
+    }
+}
+
+} // namespace bh

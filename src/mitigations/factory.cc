@@ -1,0 +1,62 @@
+#include "mitigations/factory.hh"
+
+#include "blockhammer/blockhammer.hh"
+#include "common/log.hh"
+#include "mitigations/cbt.hh"
+#include "mitigations/graphene.hh"
+#include "mitigations/mrloc.hh"
+#include "mitigations/para.hh"
+#include "mitigations/prohit.hh"
+#include "mitigations/twice.hh"
+
+namespace bh
+{
+
+const std::vector<std::string> &
+mitigationNames()
+{
+    static const std::vector<std::string> names = {
+        "Baseline", "PARA", "PRoHIT", "MRLoc", "CBT", "TWiCe", "Graphene",
+        "BlockHammer", "BlockHammer-Observe",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+paperMechanisms()
+{
+    static const std::vector<std::string> names = {
+        "PARA", "PRoHIT", "MRLoc", "CBT", "TWiCe", "Graphene", "BlockHammer",
+    };
+    return names;
+}
+
+std::unique_ptr<Mitigation>
+makeMitigation(const std::string &name, const MitigationSettings &settings)
+{
+    if (name == "Baseline")
+        return std::make_unique<NullMitigation>();
+    if (name == "PARA")
+        return std::make_unique<Para>(settings);
+    if (name == "PRoHIT")
+        return std::make_unique<Prohit>(settings);
+    if (name == "MRLoc")
+        return std::make_unique<MrLoc>(settings);
+    if (name == "CBT")
+        return std::make_unique<Cbt>(settings);
+    if (name == "TWiCe")
+        return std::make_unique<Twice>(settings);
+    if (name == "Graphene")
+        return std::make_unique<Graphene>(settings);
+    if (name == "BlockHammer" || name == "BlockHammer-Observe") {
+        auto cfg = BlockHammerConfig::forThreshold(
+            settings.nRH, settings.timings, settings.banks,
+            settings.threads);
+        cfg.seed = settings.seed;
+        cfg.observeOnly = (name == "BlockHammer-Observe");
+        return std::make_unique<BlockHammer>(cfg);
+    }
+    fatal("unknown mitigation mechanism '%s'", name.c_str());
+}
+
+} // namespace bh

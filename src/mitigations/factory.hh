@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Factory constructing any evaluated mitigation mechanism by name:
+ * Baseline (none), PARA, PRoHIT, MRLoc, CBT, TWiCe, Graphene,
+ * BlockHammer, and BlockHammer-Observe (Section 3.2.1's observe-only
+ * mode).
+ */
+
+#ifndef BH_MITIGATIONS_FACTORY_HH
+#define BH_MITIGATIONS_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/mitigation.hh"
+#include "mitigations/settings.hh"
+
+namespace bh
+{
+
+/** All mechanism names the factory accepts. */
+const std::vector<std::string> &mitigationNames();
+
+/** The paper's comparison set (Figure 4/5 order). */
+const std::vector<std::string> &paperMechanisms();
+
+/** Construct a mechanism by name; fatal() on unknown names. */
+std::unique_ptr<Mitigation> makeMitigation(const std::string &name,
+                                           const MitigationSettings &settings);
+
+} // namespace bh
+
+#endif // BH_MITIGATIONS_FACTORY_HH

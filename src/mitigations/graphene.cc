@@ -1,0 +1,88 @@
+#include "mitigations/graphene.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "mem/controller.hh"
+
+namespace bh
+{
+
+Graphene::Graphene(const MitigationSettings &settings)
+    : cfg(settings), tables(settings.banks),
+      nextReset(settings.timings.tREFW)
+{
+    // T: refresh the neighbors every T activations of a tracked row; half
+    // the effective budget keeps double-sided disturbance below N_RH.
+    thT = std::max<std::uint32_t>(1, cfg.effectiveNRH() / 2);
+    // W: most activations one bank can absorb in a window (tRC-limited).
+    auto w = static_cast<std::uint64_t>(
+        cfg.timings.tREFW / std::max<Cycle>(1, cfg.timings.tRC));
+    numEntries = static_cast<unsigned>(ceilDiv(
+        static_cast<std::int64_t>(w), static_cast<std::int64_t>(thT))) + 1;
+}
+
+void
+Graphene::refreshNeighbors(unsigned bank, RowId row)
+{
+    for (unsigned k = 1; k <= cfg.blastRadius; ++k) {
+        for (int dir : {-1, 1}) {
+            std::int64_t victim = static_cast<std::int64_t>(row) +
+                dir * static_cast<int>(k);
+            if (victim < 0 ||
+                victim >= static_cast<std::int64_t>(cfg.rowsPerBank))
+                continue;
+            controller->scheduleVictimRefresh(bank,
+                                              static_cast<RowId>(victim));
+            ++numRefreshes;
+        }
+    }
+}
+
+void
+Graphene::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
+{
+    auto &table = tables[bank];
+    auto it = table.counts.find(row);
+    if (it != table.counts.end()) {
+        ++it->second;
+        if (it->second % thT == 0)
+            refreshNeighbors(bank, row);
+        return;
+    }
+    if (table.counts.size() < numEntries) {
+        table.counts.emplace(row, 1);
+        return;
+    }
+    // Table full: Misra-Gries spillover.
+    ++table.spillover;
+    auto min_it = table.counts.begin();
+    for (auto e = table.counts.begin(); e != table.counts.end(); ++e)
+        if (e->second < min_it->second)
+            min_it = e;
+    if (table.spillover >= min_it->second) {
+        // The new row takes over the minimum entry with count
+        // spillover + 1; the displaced count becomes the new spillover.
+        std::uint32_t displaced = min_it->second;
+        table.counts.erase(min_it);
+        table.counts.emplace(row, table.spillover + 1);
+        table.spillover = displaced;
+        auto &cnt = table.counts[row];
+        if (cnt >= thT && cnt % thT == 0)
+            refreshNeighbors(bank, row);
+    }
+}
+
+void
+Graphene::tick(Cycle now)
+{
+    if (now >= nextReset) {
+        for (auto &table : tables) {
+            table.counts.clear();
+            table.spillover = 0;
+        }
+        nextReset += cfg.timings.tREFW;
+    }
+}
+
+} // namespace bh

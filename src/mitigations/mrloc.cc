@@ -1,0 +1,61 @@
+#include "mitigations/mrloc.hh"
+
+#include <algorithm>
+
+#include "mem/controller.hh"
+#include "mitigations/para.hh"
+
+namespace bh
+{
+
+MrLoc::MrLoc(const MitigationSettings &settings)
+    : cfg(settings),
+      pBase(Para::solveProbability(settings.effectiveNRH())),
+      rng(settings.seed ^ 0x3310cull)
+{
+}
+
+void
+MrLoc::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
+{
+    for (int dir : {-1, 1}) {
+        std::int64_t victim = static_cast<std::int64_t>(row) + dir;
+        if (victim < 0 || victim >= static_cast<std::int64_t>(cfg.rowsPerBank))
+            continue;
+        std::uint64_t k = key(bank, static_cast<RowId>(victim));
+
+        // Locality: distance (in enqueue operations) since the victim's
+        // last appearance in the queue; absent victims get the base rate.
+        // Tracked with sequence numbers — behaviorally identical to
+        // searching the hardware FIFO, but O(1) in simulation.
+        double p = pBase * 0.5;     // per-side base (PARA splits sides)
+        auto it = lastSeen.find(k);
+        if (it != lastSeen.end()) {
+            std::uint64_t dist = seqNo - it->second;
+            if (dist < kQueueSize) {
+                double locality = 1.0 -
+                    static_cast<double>(dist) /
+                    static_cast<double>(kQueueSize);
+                p = std::min(1.0, pBase * 0.5 * (1.0 + 3.0 * locality));
+            }
+        }
+        if (rng.chance(p)) {
+            controller->scheduleVictimRefresh(bank,
+                                              static_cast<RowId>(victim));
+            ++numRefreshes;
+        }
+        lastSeen[k] = seqNo++;
+
+        // Bound the shadow map like the hardware FIFO bounds its storage.
+        if (lastSeen.size() > 8 * kQueueSize) {
+            for (auto e = lastSeen.begin(); e != lastSeen.end();) {
+                if (seqNo - e->second >= kQueueSize)
+                    e = lastSeen.erase(e);
+                else
+                    ++e;
+            }
+        }
+    }
+}
+
+} // namespace bh

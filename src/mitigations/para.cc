@@ -1,0 +1,42 @@
+#include "mitigations/para.hh"
+
+#include <cmath>
+
+#include "mem/controller.hh"
+
+namespace bh
+{
+
+Para::Para(const MitigationSettings &settings)
+    : cfg(settings), p(solveProbability(settings.effectiveNRH())),
+      rng(settings.seed ^ 0x9a7a5ull)
+{
+}
+
+double
+Para::solveProbability(std::uint32_t effective_nrh, double failure_target)
+{
+    // (1 - p/2)^N <= target  =>  p = 2 * (1 - target^(1/N)).
+    double n = static_cast<double>(effective_nrh);
+    double per_act = std::pow(failure_target, 1.0 / n);
+    return std::min(1.0, 2.0 * (1.0 - per_act));
+}
+
+void
+Para::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
+{
+    if (!rng.chance(p))
+        return;
+    // Refresh one neighbor, chosen uniformly from either side within the
+    // blast radius (distance-1 neighbors dominate the disturbance).
+    int dir = rng.chance(0.5) ? 1 : -1;
+    unsigned dist = 1 + static_cast<unsigned>(rng.below(cfg.blastRadius));
+    std::int64_t victim = static_cast<std::int64_t>(row) +
+        dir * static_cast<int>(dist);
+    if (victim < 0 || victim >= static_cast<std::int64_t>(cfg.rowsPerBank))
+        return;
+    controller->scheduleVictimRefresh(bank, static_cast<RowId>(victim));
+    ++numRefreshes;
+}
+
+} // namespace bh

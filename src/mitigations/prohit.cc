@@ -1,0 +1,83 @@
+#include "mitigations/prohit.hh"
+
+#include <algorithm>
+
+#include "mem/controller.hh"
+
+namespace bh
+{
+
+Prohit::Prohit(const MitigationSettings &settings)
+    : cfg(settings), rng(settings.seed ^ 0x9c0417ull),
+      tables(settings.banks)
+{
+}
+
+void
+Prohit::touch(BankTable &table, RowId row)
+{
+    // Hit in the hot queue: promote one position toward the head.
+    auto hot_it = std::find(table.hot.begin(), table.hot.end(), row);
+    if (hot_it != table.hot.end()) {
+        if (hot_it != table.hot.begin())
+            std::iter_swap(hot_it, hot_it - 1);
+        return;
+    }
+    // Hit in the cold queue: promote toward / into the hot queue.
+    auto cold_it = std::find(table.cold.begin(), table.cold.end(), row);
+    if (cold_it != table.cold.end()) {
+        if (cold_it != table.cold.begin()) {
+            std::iter_swap(cold_it, cold_it - 1);
+        } else {
+            // Head of cold: move into the hot queue's tail.
+            table.cold.erase(cold_it);
+            if (table.hot.size() >= kHotEntries) {
+                // Demote the hot tail back to cold.
+                table.cold.insert(table.cold.begin(), table.hot.back());
+                table.hot.pop_back();
+            }
+            table.hot.push_back(row);
+        }
+        return;
+    }
+    // Miss: probabilistic insertion at the cold tail.
+    if (!rng.chance(kInsertProb))
+        return;
+    if (table.cold.size() >= kColdEntries)
+        table.cold.pop_back();
+    table.cold.push_back(row);
+}
+
+void
+Prohit::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
+{
+    touch(tables[bank], row);
+}
+
+void
+Prohit::onAutoRefresh(RowId, unsigned, Cycle)
+{
+    // Piggyback on each periodic refresh: serve the hottest entry of every
+    // bank by refreshing its neighbors.
+    for (unsigned b = 0; b < cfg.banks; ++b) {
+        auto &table = tables[b];
+        if (table.hot.empty())
+            continue;
+        RowId aggressor = table.hot.front();
+        table.hot.erase(table.hot.begin());
+        for (unsigned k = 1; k <= cfg.blastRadius; ++k) {
+            for (int dir : {-1, 1}) {
+                std::int64_t victim = static_cast<std::int64_t>(aggressor) +
+                    dir * static_cast<int>(k);
+                if (victim < 0 ||
+                    victim >= static_cast<std::int64_t>(cfg.rowsPerBank))
+                    continue;
+                controller->scheduleVictimRefresh(
+                    b, static_cast<RowId>(victim));
+                ++numRefreshes;
+            }
+        }
+    }
+}
+
+} // namespace bh

@@ -1,0 +1,77 @@
+#include "mitigations/twice.hh"
+
+#include <algorithm>
+
+#include "mem/controller.hh"
+
+namespace bh
+{
+
+Twice::Twice(const MitigationSettings &settings)
+    : cfg(settings), tables(settings.banks)
+{
+    // Refresh threshold: half the effective budget so the combined
+    // disturbance of both aggressors around a victim stays below N_RH.
+    thRH = std::max<std::uint32_t>(1, cfg.effectiveNRH() / 2);
+    // A row that cannot accumulate thRH activations by the end of the
+    // window is prunable: it must gain at least thRH / (tREFW / tREFI)
+    // per interval to stay on track.
+    double intervals = static_cast<double>(cfg.timings.tREFW) /
+        static_cast<double>(cfg.timings.tREFI);
+    thPRU = static_cast<double>(thRH) / intervals;
+}
+
+void
+Twice::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
+{
+    auto &table = tables[bank];
+    Entry &e = table[row];
+    ++e.count;
+    if (e.count >= thRH) {
+        for (unsigned k = 1; k <= cfg.blastRadius; ++k) {
+            for (int dir : {-1, 1}) {
+                std::int64_t victim = static_cast<std::int64_t>(row) +
+                    dir * static_cast<int>(k);
+                if (victim < 0 ||
+                    victim >= static_cast<std::int64_t>(cfg.rowsPerBank))
+                    continue;
+                controller->scheduleVictimRefresh(
+                    bank, static_cast<RowId>(victim));
+                ++numRefreshes;
+            }
+        }
+        table.erase(row);
+    }
+    peakEntries = std::max(peakEntries, tableEntries());
+}
+
+void
+Twice::onAutoRefresh(RowId, unsigned, Cycle)
+{
+    // Pruning interval: drop entries whose count trails the pace needed
+    // to ever reach thRH within the window.
+    for (auto &table : tables) {
+        for (auto it = table.begin(); it != table.end();) {
+            Entry &e = it->second;
+            ++e.life;
+            double pace = thPRU * static_cast<double>(e.life);
+            if (static_cast<double>(e.count) < pace) {
+                it = table.erase(it);
+                ++numPruned;
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+std::size_t
+Twice::tableEntries() const
+{
+    std::size_t n = 0;
+    for (const auto &table : tables)
+        n += table.size();
+    return n;
+}
+
+} // namespace bh

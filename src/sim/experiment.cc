@@ -1,0 +1,163 @@
+#include "sim/experiment.hh"
+
+#include <map>
+#include <tuple>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+ExperimentConfig
+ExperimentConfig::paperScale()
+{
+    ExperimentConfig cfg;
+    cfg.nRH = 32768;
+    cfg.refwMs = 64.0;
+    cfg.runCycles = 32'000'000;
+    return cfg;
+}
+
+DramTimings
+ExperimentConfig::timings() const
+{
+    DramTimingNs ns;
+    ns.tREFW = refwMs * 1e6;
+    // tREFI and tRFC stay at their physical DDR4 values so the refresh
+    // duty cycle (~4.5%) and row-buffer residency are realistic; each REF
+    // simply sweeps proportionally more rows in a compressed window.
+    return DramTimings::fromNs(ns);
+}
+
+MitigationSettings
+ExperimentConfig::mitigationSettings() const
+{
+    MitigationSettings s;
+    s.nRH = nRH;
+    s.blastRadius = 1;
+    s.timings = timings();
+    s.banks = 16;
+    s.rowsPerBank = 65536;
+    s.threads = threads;
+    s.seed = seed;
+    return s;
+}
+
+std::unique_ptr<System>
+buildSystem(const ExperimentConfig &config, const MixSpec &mix)
+{
+    if (mix.apps.size() != config.threads)
+        fatal("mix '%s' has %zu apps for %u threads", mix.name.c_str(),
+              mix.apps.size(), config.threads);
+
+    SystemConfig sys_cfg;
+    sys_cfg.threads = config.threads;
+    sys_cfg.mem.timings = config.timings();
+    sys_cfg.mem.hammer.nRH = config.nRH;
+    sys_cfg.mem.hammer.blastRadius = 1;     // double-sided attack model
+    sys_cfg.mem.enableHammerObserver = config.hammerObserver;
+
+    MitigationSettings mit = config.mitigationSettings();
+    auto system = std::make_unique<System>(
+        sys_cfg, makeMitigation(config.mechanism, mit));
+
+    for (unsigned slot = 0; slot < config.threads; ++slot) {
+        auto trace = makeTrace(mix.apps[slot], slot, config.threads,
+                               system->mem().mapper(), config.seed,
+                               config.attack);
+        if (mix.apps[slot] == kAttackAppName) {
+            // A real attacker runs two dependent access chains per hammered
+            // bank (one per aggressor row), keeping each bank's ACT
+            // pipeline busy; more parallelism per row would only let
+            // FR-FCFS coalesce requests into row hits without extra
+            // activations.
+            CoreConfig attacker = sys_cfg.core;
+            attacker.maxOutstandingMem = 2 * config.attack.numBanks;
+            system->setTrace(slot, std::move(trace), attacker);
+        } else {
+            system->setTrace(slot, std::move(trace));
+        }
+    }
+    return system;
+}
+
+RunResult
+runExperiment(const ExperimentConfig &config, const MixSpec &mix)
+{
+    auto system = buildSystem(config, mix);
+    if (config.warmupCycles > 0)
+        system->run(config.warmupCycles);
+    system->startMeasurement();
+    system->run(config.runCycles);
+
+    RunResult res;
+    res.mechanism = config.mechanism;
+    res.mixName = mix.name;
+    for (unsigned t = 0; t < config.threads; ++t) {
+        res.ipc.push_back(system->ipc(t));
+        res.isAttack.push_back(mix.apps[t] == kAttackAppName);
+    }
+    res.energyJ = system->energy();
+    if (auto *hammer = system->mem().hammerObserver()) {
+        res.bitFlips = hammer->bitFlips().size();
+        res.maxRowActs = hammer->maxRowActivations();
+    }
+    auto &mc = system->mem().controller();
+    res.demandActs = mc.demandActivations();
+    res.blockedActs = mc.blockedActQueries();
+    res.victimRefreshes = mc.victimRefreshesDone();
+    res.rowHits = mc.rowHits();
+    res.rowMisses = mc.rowMisses();
+    res.rowConflicts = mc.rowConflicts();
+    return res;
+}
+
+std::vector<double>
+RunResult::benignIpc() const
+{
+    std::vector<double> out;
+    for (std::size_t i = 0; i < ipc.size(); ++i)
+        if (!isAttack[i])
+            out.push_back(ipc[i]);
+    return out;
+}
+
+double
+aloneIpc(const ExperimentConfig &config, const std::string &app)
+{
+    using Key = std::tuple<std::string, Cycle, Cycle, std::uint64_t, double>;
+    static std::map<Key, double> cache;
+    Key key{app, config.runCycles, config.warmupCycles, config.seed,
+            config.refwMs};
+    if (auto it = cache.find(key); it != cache.end())
+        return it->second;
+
+    ExperimentConfig alone = config;
+    alone.mechanism = "Baseline";
+    alone.threads = 1;
+    alone.hammerObserver = false;   // speed: oracle not needed here
+
+    MixSpec mix;
+    mix.name = "alone-" + app;
+    mix.apps = {app};
+    RunResult res = runExperiment(alone, mix);
+    cache[key] = res.ipc[0];
+    return res.ipc[0];
+}
+
+MultiProgMetrics
+metricsAgainstAlone(const ExperimentConfig &config, const MixSpec &mix,
+                    const RunResult &result)
+{
+    std::vector<double> shared;
+    std::vector<double> alone;
+    for (unsigned t = 0; t < config.threads; ++t) {
+        if (mix.apps[t] == kAttackAppName)
+            continue;   // the attack's own performance is not a metric
+        shared.push_back(result.ipc[t]);
+        alone.push_back(aloneIpc(config, mix.apps[t]));
+    }
+    return computeMetrics(shared, alone);
+}
+
+} // namespace bh

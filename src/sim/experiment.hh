@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Experiment harness shared by benches and integration tests: builds a
+ * system for (mechanism, mix, RowHammer threshold), runs it, and collects
+ * the metrics the paper reports. Includes the time-compressed evaluation
+ * configuration (see DESIGN.md): all window-relative ratios (N_BL/N_RH,
+ * tCBF/tREFW, mechanism trigger thresholds) follow the paper; the
+ * absolute window is shrunk so the full blacklisting/throttling dynamics
+ * unfold within bench-scale runs.
+ */
+
+#ifndef BH_SIM_EXPERIMENT_HH
+#define BH_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mitigations/factory.hh"
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+
+namespace bh
+{
+
+/** One experiment's configuration. */
+struct ExperimentConfig
+{
+    std::string mechanism = "Baseline";
+    std::uint32_t nRH = 2048;       ///< compressed default (paper: 32K)
+    Cycle runCycles = 3'200'000;    ///< measurement window: 1 ms at 3.2 GHz
+    Cycle warmupCycles = 800'000;   ///< cache/blacklist warmup before it
+    unsigned threads = 8;
+    double refwMs = 1.0;            ///< compressed tREFW (paper: 64 ms)
+    std::uint64_t seed = 1;
+    bool hammerObserver = true;
+    AttackParams attack;
+
+    /** Paper-scale configuration (for security/analysis runs). */
+    static ExperimentConfig paperScale();
+
+    /** DRAM timings with the compressed refresh window. */
+    DramTimings timings() const;
+
+    /** Mitigation settings consistent with this experiment. */
+    MitigationSettings mitigationSettings() const;
+};
+
+/** Collected results of one run. */
+struct RunResult
+{
+    std::string mechanism;
+    std::string mixName;
+    std::vector<double> ipc;            ///< per thread
+    std::vector<bool> isAttack;         ///< per thread
+    double energyJ = 0.0;
+    std::uint64_t bitFlips = 0;
+    std::uint64_t maxRowActs = 0;       ///< max per-row acts between refreshes
+    std::uint64_t demandActs = 0;
+    std::uint64_t blockedActs = 0;
+    std::uint64_t victimRefreshes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t rowConflicts = 0;
+
+    /** IPCs of benign threads only. */
+    std::vector<double> benignIpc() const;
+};
+
+/** Build a fully-wired system for a mix (traces installed). */
+std::unique_ptr<System> buildSystem(const ExperimentConfig &config,
+                                    const MixSpec &mix);
+
+/** Run one (mechanism, mix) experiment. */
+RunResult runExperiment(const ExperimentConfig &config, const MixSpec &mix);
+
+/**
+ * Per-app alone-run IPC on the Baseline system (the denominator of the
+ * paper's speedup metrics), memoized per (app, cycles, seed).
+ */
+double aloneIpc(const ExperimentConfig &config, const std::string &app);
+
+/** Benign-thread metrics of a run against alone-run IPCs. */
+MultiProgMetrics metricsAgainstAlone(const ExperimentConfig &config,
+                                     const MixSpec &mix,
+                                     const RunResult &result);
+
+} // namespace bh
+
+#endif // BH_SIM_EXPERIMENT_HH

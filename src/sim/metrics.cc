@@ -1,0 +1,52 @@
+#include "sim/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+MultiProgMetrics
+computeMetrics(const std::vector<double> &shared_ipc,
+               const std::vector<double> &alone_ipc)
+{
+    if (shared_ipc.size() != alone_ipc.size())
+        panic("metric vectors differ in length");
+    if (shared_ipc.empty())
+        return MultiProgMetrics{};
+
+    MultiProgMetrics m;
+    double hs_denom = 0.0;
+    for (std::size_t i = 0; i < shared_ipc.size(); ++i) {
+        double alone = alone_ipc[i];
+        double shared = shared_ipc[i];
+        if (alone <= 0.0 || shared <= 0.0) {
+            warn("degenerate IPC in metrics (alone=%f shared=%f)",
+                 alone, shared);
+            continue;
+        }
+        double speedup = shared / alone;
+        double slowdown = alone / shared;
+        m.weightedSpeedup += speedup;
+        hs_denom += slowdown;
+        m.maxSlowdown = std::max(m.maxSlowdown, slowdown);
+    }
+    auto n = static_cast<double>(shared_ipc.size());
+    m.harmonicSpeedup = hs_denom > 0.0 ? n / hs_denom : 0.0;
+    return m;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(std::max(v, 1e-12));
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace bh

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Multiprogrammed-workload performance metrics (Section 7 of the paper):
+ * weighted speedup (system throughput), harmonic speedup (job turnaround),
+ * and maximum slowdown (fairness). Computed over benign threads only.
+ */
+
+#ifndef BH_SIM_METRICS_HH
+#define BH_SIM_METRICS_HH
+
+#include <vector>
+
+namespace bh
+{
+
+/** The paper's three performance metrics. */
+struct MultiProgMetrics
+{
+    double weightedSpeedup = 0.0;
+    double harmonicSpeedup = 0.0;
+    double maxSlowdown = 0.0;
+};
+
+/**
+ * Compute metrics from per-thread IPCs in the shared run and each thread's
+ * IPC when running alone on the baseline system. Vectors must be the same
+ * length (benign threads only).
+ */
+MultiProgMetrics computeMetrics(const std::vector<double> &shared_ipc,
+                                const std::vector<double> &alone_ipc);
+
+/** Geometric mean helper for normalized comparisons. */
+double geomean(const std::vector<double> &values);
+
+} // namespace bh
+
+#endif // BH_SIM_METRICS_HH

@@ -1,0 +1,82 @@
+#include "sim/system.hh"
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+System::System(const SystemConfig &config,
+               std::unique_ptr<Mitigation> mitigation)
+    : cfg(config)
+{
+    memSys = std::make_unique<MemSystem>(cfg.mem, std::move(mitigation));
+    if (cfg.useLlc)
+        llcPtr = std::make_unique<Llc>(cfg.llc, *memSys);
+    traces.resize(cfg.threads);
+    cores.resize(cfg.threads);
+}
+
+void
+System::setTrace(unsigned slot, std::unique_ptr<TraceSource> trace)
+{
+    setTrace(slot, std::move(trace), cfg.core);
+}
+
+void
+System::setTrace(unsigned slot, std::unique_ptr<TraceSource> trace,
+                 const CoreConfig &core_cfg)
+{
+    if (slot >= cfg.threads)
+        fatal("trace slot %u out of range", slot);
+    traces[slot] = std::move(trace);
+    cores[slot] = std::make_unique<Core>(
+        core_cfg, static_cast<ThreadId>(slot), *traces[slot],
+        llcPtr.get(), *memSys);
+}
+
+void
+System::run(Cycle cycles)
+{
+    for (unsigned t = 0; t < cfg.threads; ++t)
+        if (!cores[t])
+            fatal("core slot %u has no trace installed", t);
+
+    Cycle end = currentCycle + cycles;
+    unsigned divider = std::max(1u, cfg.mcClockDivider);
+    unsigned n = static_cast<unsigned>(cores.size());
+    for (; currentCycle < end; ++currentCycle) {
+        // Rotate the tick order so no core gets a systematic head start
+        // when racing for shared queue slots.
+        unsigned first = static_cast<unsigned>(currentCycle) % n;
+        for (unsigned i = 0; i < n; ++i)
+            cores[(first + i) % n]->tick(currentCycle);
+        if (llcPtr)
+            llcPtr->tick(currentCycle);
+        if (currentCycle % divider == 0)
+            memSys->tick(currentCycle);
+    }
+}
+
+void
+System::startMeasurement()
+{
+    measureStart = currentCycle;
+    energyAtMeasureStart = memSys->totalEnergy(currentCycle);
+    retiredAtMeasureStart.clear();
+    for (auto &core : cores)
+        retiredAtMeasureStart.push_back(core ? core->retired() : 0);
+}
+
+double
+System::ipc(unsigned slot) const
+{
+    Cycle window = currentCycle - measureStart;
+    if (window <= 0)
+        return 0.0;
+    std::uint64_t base = slot < retiredAtMeasureStart.size()
+        ? retiredAtMeasureStart[slot] : 0;
+    return static_cast<double>(cores[slot]->retired() - base) /
+        static_cast<double>(window);
+}
+
+} // namespace bh

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Full-system composition: N trace-driven cores sharing an LLC in front of
+ * one DRAM channel with an installed RowHammer mitigation mechanism
+ * (the paper's Table 5 configuration).
+ */
+
+#ifndef BH_SIM_SYSTEM_HH
+#define BH_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/core.hh"
+#include "workloads/mixes.hh"
+
+namespace bh
+{
+
+/** Aggregate system configuration. */
+struct SystemConfig
+{
+    unsigned threads = 8;
+    CoreConfig core;
+    LlcConfig llc;
+    MemSystemConfig mem;
+    bool useLlc = true;
+    /** Memory controller clock divider relative to the CPU clock. */
+    unsigned mcClockDivider = 2;
+};
+
+/** A complete simulated system instance. */
+class System
+{
+  public:
+    System(const SystemConfig &config, std::unique_ptr<Mitigation> mitigation);
+
+    /** Install the trace for one core slot (must precede run()). */
+    void setTrace(unsigned slot, std::unique_ptr<TraceSource> trace);
+
+    /**
+     * Install a trace with a per-core configuration override (e.g., an
+     * attacker modeled as one dependent access chain per bank).
+     */
+    void setTrace(unsigned slot, std::unique_ptr<TraceSource> trace,
+                  const CoreConfig &core_cfg);
+
+    /** Run for `cycles` more cycles. */
+    void run(Cycle cycles);
+
+    /** Current simulation time. */
+    Cycle now() const { return currentCycle; }
+
+    /**
+     * Mark the start of the measurement window: IPC and energy report
+     * deltas from this point, excluding cache/blacklist warmup (the paper
+     * fast-forwards 100M instructions before measuring).
+     */
+    void startMeasurement();
+
+    /** IPC of one thread over the measurement window. */
+    double ipc(unsigned slot) const;
+
+    Core &core(unsigned slot) { return *cores[slot]; }
+    const Core &core(unsigned slot) const { return *cores[slot]; }
+    Llc *llc() { return llcPtr.get(); }
+    MemSystem &mem() { return *memSys; }
+    const MemSystem &mem() const { return *memSys; }
+    unsigned threads() const { return cfg.threads; }
+
+    /** DRAM energy over the measurement window (J). */
+    double
+    energy()
+    {
+        return memSys->totalEnergy(currentCycle) - energyAtMeasureStart;
+    }
+
+  private:
+    SystemConfig cfg;
+    std::unique_ptr<MemSystem> memSys;
+    std::unique_ptr<Llc> llcPtr;
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    std::vector<std::unique_ptr<Core>> cores;
+    Cycle currentCycle = 0;
+    Cycle measureStart = 0;
+    double energyAtMeasureStart = 0.0;
+    std::vector<std::uint64_t> retiredAtMeasureStart;
+};
+
+} // namespace bh
+
+#endif // BH_SIM_SYSTEM_HH

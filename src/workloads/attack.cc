@@ -1,0 +1,69 @@
+#include "workloads/attack.hh"
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+AttackTrace::AttackTrace(const AttackParams &params,
+                         const AddressMapper &mapper)
+    : cfg(params)
+{
+    const DramOrg &org = mapper.organization();
+    if (cfg.numBanks == 0 ||
+        cfg.firstBank + cfg.numBanks > org.banksPerChannel()) {
+        fatal("attack bank range out of bounds");
+    }
+
+    // Aggressor rows around the victim.
+    switch (cfg.kind) {
+      case AttackParams::Kind::kSingleSided:
+        rows = {cfg.victimRow + 1};
+        break;
+      case AttackParams::Kind::kDoubleSided:
+        rows = {cfg.victimRow - 1, cfg.victimRow + 1};
+        break;
+      case AttackParams::Kind::kManySided:
+        for (unsigned s = 1; s <= cfg.sides; ++s) {
+            unsigned k = (s + 1) / 2;
+            rows.push_back(s % 2 ? cfg.victimRow - k : cfg.victimRow + k);
+        }
+        break;
+    }
+
+    // Precompute the physical address of (bank, aggressor row, col 0).
+    for (unsigned b = 0; b < cfg.numBanks; ++b) {
+        unsigned flat = cfg.firstBank + b;
+        DramCoord c;
+        c.channel = 0;
+        c.rank = flat / org.banksPerRank();
+        unsigned in_rank = flat % org.banksPerRank();
+        c.bankGroup = in_rank / org.banksPerGroup;
+        c.bank = in_rank % org.banksPerGroup;
+        c.col = 0;
+        for (RowId row : rows) {
+            c.row = row;
+            addrs.push_back(mapper.encode(c));
+        }
+    }
+}
+
+bool
+AttackTrace::next(TraceEntry &entry)
+{
+    // Interleave banks in the inner dimension so per-bank alternation
+    // (RA, RB, RA, RB, ...) rides on top of bank-level parallelism.
+    std::uint64_t n_rows = rows.size();
+    std::uint64_t bank_slot = position % cfg.numBanks;
+    std::uint64_t row_slot = (position / cfg.numBanks) % n_rows;
+    ++position;
+
+    entry.bubbles = 0;
+    entry.isMem = true;
+    entry.isWrite = false;
+    entry.bypassCache = true;
+    entry.addr = addrs[bank_slot * n_rows + row_slot];
+    return true;
+}
+
+} // namespace bh

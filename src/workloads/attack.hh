@@ -1,0 +1,64 @@
+/**
+ * @file
+ * RowHammer attack trace generators (Section 7 of the paper).
+ *
+ * The paper's synthetic attack "activates two rows in each bank as
+ * frequently as possible by alternating between them at every row
+ * activation (RA, RB, RA, RB, ...)". The generator interleaves banks so
+ * bank-level parallelism maximizes the aggregate activation rate, exactly
+ * like a real attacker saturating tFAW. Single-sided and many-sided
+ * variants are provided for the threat-model tests.
+ */
+
+#ifndef BH_WORKLOADS_ATTACK_HH
+#define BH_WORKLOADS_ATTACK_HH
+
+#include <vector>
+
+#include "core/trace.hh"
+#include "dram/address_map.hh"
+
+namespace bh
+{
+
+/** Attack shape parameters. */
+struct AttackParams
+{
+    enum class Kind
+    {
+        kSingleSided,   ///< hammer one row per bank
+        kDoubleSided,   ///< alternate the two neighbors of a victim
+        kManySided,     ///< cycle `sides` aggressors around the victim
+    };
+
+    Kind kind = Kind::kDoubleSided;
+    unsigned numBanks = 16;     ///< banks hammered concurrently
+    unsigned firstBank = 0;
+    unsigned sides = 2;         ///< aggressor rows per bank (many-sided)
+    RowId victimRow = 4096;     ///< victim row index in every bank
+};
+
+/** Cache-bypassing attacker access stream. */
+class AttackTrace : public TraceSource
+{
+  public:
+    AttackTrace(const AttackParams &params, const AddressMapper &mapper);
+
+    bool next(TraceEntry &entry) override;
+    void reset() override { position = 0; }
+
+    /** Aggressor rows hammered in each attacked bank. */
+    const std::vector<RowId> &aggressorRows() const { return rows; }
+
+    const AttackParams &params() const { return cfg; }
+
+  private:
+    AttackParams cfg;
+    std::vector<Addr> addrs;    ///< [bank-slot * rows.size() + row-slot]
+    std::vector<RowId> rows;
+    std::uint64_t position = 0;
+};
+
+} // namespace bh
+
+#endif // BH_WORKLOADS_ATTACK_HH

@@ -1,0 +1,106 @@
+#include "workloads/catalog.hh"
+
+namespace bh
+{
+
+namespace
+{
+
+constexpr std::uint64_t MB = 1ull << 20;
+
+/** Build the catalog once. Parameters approximate Table 8 behavior. */
+std::vector<AppSpec>
+buildCatalog()
+{
+    std::vector<AppSpec> apps;
+    auto add = [&](const char *name, char cat, double mpki, double rbcpki,
+                   double spacing, std::uint64_t ws, unsigned run,
+                   double wf, bool bypass) {
+        SynthParams p;
+        p.name = name;
+        p.memSpacing = spacing;
+        p.workingSetBytes = ws;
+        p.rowRunLines = run;
+        p.writeFrac = wf;
+        p.bypassCache = bypass;
+        apps.push_back(AppSpec{p, cat, mpki, rbcpki});
+    };
+
+    // --- L: RBCPKI < 1 -------------------------------------------------
+    // Cache-resident SPEC codes: small working sets, nearly all LLC hits.
+    // Working sets are kept small enough to warm within the simulation's
+    // warmup window (the real codes touch more memory but at the same
+    // near-zero LLC miss rates).
+    constexpr std::uint64_t KB = 1024;
+    add("444.namd",       'L', 0.1, 0.0, 40, 256 * KB, 16, 0.20, false);
+    add("481.wrf",        'L', 0.1, 0.0, 50, 384 * KB, 32, 0.25, false);
+    add("435.gromacs",    'L', 0.2, 0.0, 35, 256 * KB, 8, 0.20, false);
+    add("456.hmmer",      'L', 0.1, 0.0, 30, 128 * KB, 64, 0.30, false);
+    add("464.h264ref",    'L', 0.1, 0.0, 45, 512 * KB, 32, 0.30, false);
+    add("447.dealII",     'L', 0.1, 0.0, 40, 384 * KB, 16, 0.25, false);
+    add("403.gcc",        'L', 0.2, 0.1, 25, 512 * KB, 16, 0.30, false);
+    add("401.bzip2",      'L', 0.3, 0.1, 20, 640 * KB, 64, 0.30, false);
+    add("445.gobmk",      'L', 0.4, 0.1, 25, 512 * KB, 8, 0.25, false);
+    add("458.sjeng",      'L', 0.3, 0.2, 22, 768 * KB, 8, 0.20, false);
+    // Row-major non-temporal copy: a fully sequential stream opens each
+    // row once per bank (long runs keep conflicts per kilo-instr tiny).
+    add("movnti.rowmaj",  'L', -1, 0.2, 12, 64 * MB, 4096, 1.00, true);
+    // Disk I/O: large sequential DMA-style transfers.
+    add("ycsb.A",         'L', -1, 0.4, 30, 128 * MB, 2048, 0.50, true);
+
+    // --- M: 1 <= RBCPKI < 5 --------------------------------------------
+    add("ycsb.F",         'M', -1, 1.0, 25, 128 * MB, 768, 0.50, true);
+    add("ycsb.C",         'M', -1, 1.0, 25, 128 * MB, 768, 0.00, true);
+    add("ycsb.B",         'M', -1, 1.1, 22, 128 * MB, 512, 0.10, true);
+    add("471.omnetpp",    'M', 1.3, 1.2, 300, 48 * MB, 4, 0.30, false);
+    add("483.xalancbmk",  'M', 8.5, 2.4, 80, 64 * MB, 8, 0.30, false);
+    add("482.sphinx3",    'M', 9.6, 3.7, 70, 64 * MB, 8, 0.15, false);
+    add("436.cactusADM",  'M', 16.5, 3.7, 62, 96 * MB, 16, 0.35, false);
+    add("437.leslie3d",   'M', 9.9, 4.6, 78, 64 * MB, 6, 0.35, false);
+    add("473.astar",      'M', 5.6, 4.8, 125, 32 * MB, 2, 0.25, false);
+
+    // --- H: RBCPKI >= 5 -------------------------------------------------
+    add("450.soplex",     'H', 10.2, 7.1, 55, 64 * MB, 3, 0.20, false);
+    add("462.libquantum", 'H', 26.9, 7.7, 37, 32 * MB, 64, 0.25, false);
+    add("433.milc",       'H', 13.6, 10.9, 45, 64 * MB, 2, 0.30, false);
+    add("459.GemsFDTD",   'H', 20.6, 15.3, 35, 96 * MB, 3, 0.35, false);
+    add("470.lbm",        'H', 36.5, 24.7, 22, 128 * MB, 4, 0.40, false);
+    add("429.mcf",        'H', 201.7, 62.3, 5, 256 * MB, 2, 0.20, false);
+    // Column-major copy: every access opens a new row.
+    add("movnti.colmaj",  'H', -1, 30.9, 32, 256 * MB, 1, 1.00, true);
+    // Network accelerators: extremely high direct-to-memory access rates.
+    add("freescale1",     'H', -1, 336.8, 3.0, 512 * MB, 1, 0.30, true);
+    add("freescale2",     'H', -1, 370.4, 2.7, 512 * MB, 1, 0.30, true);
+
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppSpec> &
+appCatalog()
+{
+    static const std::vector<AppSpec> catalog = buildCatalog();
+    return catalog;
+}
+
+std::optional<AppSpec>
+findApp(const std::string &name)
+{
+    for (const auto &app : appCatalog())
+        if (app.params.name == name)
+            return app;
+    return std::nullopt;
+}
+
+std::vector<std::string>
+appsInCategory(char category)
+{
+    std::vector<std::string> names;
+    for (const auto &app : appCatalog())
+        if (app.category == category)
+            names.push_back(app.params.name);
+    return names;
+}
+
+} // namespace bh

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The 30-application benchmark catalog mirroring Table 8 of the paper.
+ *
+ * Applications are grouped by row-buffer conflicts per kilo-instruction
+ * (RBCPKI) into L (<1), M (1-5), and H (>5). Parameters are calibrated so
+ * the measured MPKI/RBCPKI of each synthetic app lands in its paper
+ * category (validated by the table8_workloads bench).
+ */
+
+#ifndef BH_WORKLOADS_CATALOG_HH
+#define BH_WORKLOADS_CATALOG_HH
+
+#include <optional>
+#include <vector>
+
+#include "workloads/synth.hh"
+
+namespace bh
+{
+
+/** Table 8 row: an application and its expected category. */
+struct AppSpec
+{
+    SynthParams params;
+    char category;          ///< 'L', 'M', or 'H'
+    double paperMpki;       ///< -1 when the paper lists none (I/O apps)
+    double paperRbcpki;
+};
+
+/** All 30 applications of Table 8. */
+const std::vector<AppSpec> &appCatalog();
+
+/** Look up an application by name. */
+std::optional<AppSpec> findApp(const std::string &name);
+
+/** Names of all applications in a category ('L', 'M', 'H'). */
+std::vector<std::string> appsInCategory(char category);
+
+} // namespace bh
+
+#endif // BH_WORKLOADS_CATALOG_HH

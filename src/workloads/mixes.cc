@@ -1,0 +1,79 @@
+#include "workloads/mixes.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace bh
+{
+
+bool
+MixSpec::hasAttack() const
+{
+    return attackSlot() >= 0;
+}
+
+int
+MixSpec::attackSlot() const
+{
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        if (apps[i] == kAttackAppName)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::vector<MixSpec>
+makeBenignMixes(unsigned count, std::uint64_t seed, unsigned threads)
+{
+    const auto &catalog = appCatalog();
+    Rng rng(seed);
+    std::vector<MixSpec> mixes;
+    for (unsigned m = 0; m < count; ++m) {
+        MixSpec mix;
+        mix.name = strfmt("benign-%02u", m);
+        for (unsigned t = 0; t < threads; ++t)
+            mix.apps.push_back(
+                catalog[rng.below(catalog.size())].params.name);
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+std::vector<MixSpec>
+makeAttackMixes(unsigned count, std::uint64_t seed, unsigned threads)
+{
+    auto mixes = makeBenignMixes(count, seed ^ 0xa77ac4, threads);
+    Rng rng(seed + 1);
+    for (unsigned m = 0; m < count; ++m) {
+        mixes[m].name = strfmt("attack-%02u", m);
+        // Paper: one RowHammer attack + seven benign threads.
+        auto slot = rng.below(threads);
+        mixes[m].apps[slot] = kAttackAppName;
+    }
+    return mixes;
+}
+
+std::unique_ptr<TraceSource>
+makeTrace(const std::string &app, unsigned slot, unsigned threads,
+          const AddressMapper &mapper, std::uint64_t seed,
+          const AttackParams &attack)
+{
+    if (app == kAttackAppName)
+        return std::make_unique<AttackTrace>(attack, mapper);
+
+    auto spec = findApp(app);
+    if (!spec)
+        fatal("unknown application '%s'", app.c_str());
+
+    // Give each slot a private slice of the physical address space so
+    // threads do not unintentionally share rows or cache lines.
+    Addr total = mapper.organization().totalBytes();
+    Addr slice = total / threads;
+    Addr base = slice * slot;
+    if (spec->params.workingSetBytes > slice)
+        spec->params.workingSetBytes = slice;
+
+    std::uint64_t slot_seed = seed * 0x9e3779b9ull + slot * 0x85ebca6bull + 1;
+    return std::make_unique<SynthTrace>(spec->params, slot_seed, base);
+}
+
+} // namespace bh

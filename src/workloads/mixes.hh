@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Multiprogrammed workload composition (Section 7 of the paper):
+ * randomly-selected 8-thread mixes of benign applications, optionally
+ * with one slot replaced by a RowHammer attack thread.
+ */
+
+#ifndef BH_WORKLOADS_MIXES_HH
+#define BH_WORKLOADS_MIXES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/attack.hh"
+#include "workloads/catalog.hh"
+
+namespace bh
+{
+
+/** Reserved app name denoting the RowHammer attack thread. */
+inline const std::string kAttackAppName = "rowhammer.double";
+
+/** One multiprogrammed workload: an ordered list of app names. */
+struct MixSpec
+{
+    std::string name;
+    std::vector<std::string> apps;
+
+    /** True if any slot runs the attack. */
+    bool hasAttack() const;
+
+    /** Slot index of the attack thread, or -1. */
+    int attackSlot() const;
+};
+
+/** Build `count` random all-benign 8-thread mixes. */
+std::vector<MixSpec> makeBenignMixes(unsigned count, std::uint64_t seed,
+                                     unsigned threads = 8);
+
+/**
+ * Build `count` random mixes with one RowHammer attack thread and
+ * threads-1 benign threads (the paper's "RowHammer Attack Present" set).
+ */
+std::vector<MixSpec> makeAttackMixes(unsigned count, std::uint64_t seed,
+                                     unsigned threads = 8);
+
+/**
+ * Instantiate the trace for one mix slot.
+ *
+ * @param app app name from the catalog or kAttackAppName
+ * @param slot thread slot (selects the private address slice and seed)
+ * @param threads total thread count (address slicing)
+ * @param mapper address mapper (attack needs bank/row-level addressing)
+ * @param seed base seed; each slot derives its own stream
+ * @param attack attack shape for attack slots
+ */
+std::unique_ptr<TraceSource>
+makeTrace(const std::string &app, unsigned slot, unsigned threads,
+          const AddressMapper &mapper, std::uint64_t seed,
+          const AttackParams &attack = AttackParams{});
+
+} // namespace bh
+
+#endif // BH_WORKLOADS_MIXES_HH

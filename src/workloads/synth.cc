@@ -1,0 +1,51 @@
+#include "workloads/synth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bh
+{
+
+SynthTrace::SynthTrace(const SynthParams &params, std::uint64_t seed_val,
+                       Addr addr_base)
+    : cfg(params), seed(seed_val), addrBase(addr_base), rng(seed_val)
+{
+}
+
+void
+SynthTrace::reset()
+{
+    rng = Rng(seed);
+    current = 0;
+    runLeft = 0;
+}
+
+bool
+SynthTrace::next(TraceEntry &entry)
+{
+    if (runLeft == 0) {
+        // Jump to a random line inside the working set; the following
+        // rowRunLines accesses stream sequentially from there.
+        std::uint64_t lines = std::max<std::uint64_t>(
+            1, cfg.workingSetBytes / kLineBytes);
+        current = addrBase + rng.below(lines) * kLineBytes;
+        runLeft = cfg.rowRunLines;
+    }
+
+    // Uniform jitter in [0.5, 1.5] x mean keeps the long-run intensity at
+    // the configured mean without lockstep behavior across threads.
+    double spacing = cfg.memSpacing * (0.5 + rng.uniform());
+    auto bubbles = static_cast<std::uint32_t>(
+        std::max(0.0, std::round(spacing) - 1.0));
+
+    entry.bubbles = bubbles;
+    entry.isMem = true;
+    entry.isWrite = rng.chance(cfg.writeFrac);
+    entry.bypassCache = cfg.bypassCache;
+    entry.addr = current;
+    current += kLineBytes;
+    --runLeft;
+    return true;
+}
+
+} // namespace bh

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parameterized synthetic application trace generator.
+ *
+ * Stands in for the paper's SPEC CPU2006 / YCSB / network-accelerator
+ * traces (Table 8). Each application is reduced to the properties that
+ * drive RowHammer mitigation behavior: memory intensity (instructions per
+ * memory op), working-set size (LLC hit rate and thus MPKI), row-run
+ * length (row-buffer locality and thus RBCPKI), write fraction, and
+ * whether accesses bypass the cache (disk/network I/O and non-temporal
+ * copies in Table 8 access memory directly).
+ */
+
+#ifndef BH_WORKLOADS_SYNTH_HH
+#define BH_WORKLOADS_SYNTH_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "core/trace.hh"
+
+namespace bh
+{
+
+/** Tuning knobs of one synthetic application. */
+struct SynthParams
+{
+    std::string name;
+    double memSpacing = 50.0;       ///< mean instructions per memory op
+    std::uint64_t workingSetBytes = 16ull << 20;
+    unsigned rowRunLines = 8;       ///< consecutive lines before a jump
+    double writeFrac = 0.25;
+    bool bypassCache = false;       ///< direct-to-memory traffic
+};
+
+/** Deterministic trace stream for one synthetic application instance. */
+class SynthTrace : public TraceSource
+{
+  public:
+    /**
+     * @param params application parameters
+     * @param seed stream seed (determinism)
+     * @param addr_base start of this thread's private address slice
+     */
+    SynthTrace(const SynthParams &params, std::uint64_t seed, Addr addr_base);
+
+    bool next(TraceEntry &entry) override;
+    void reset() override;
+
+    const SynthParams &params() const { return cfg; }
+
+  private:
+    SynthParams cfg;
+    std::uint64_t seed;
+    Addr addrBase;
+    Rng rng;
+    Addr current = 0;
+    unsigned runLeft = 0;
+};
+
+} // namespace bh
+
+#endif // BH_WORKLOADS_SYNTH_HH

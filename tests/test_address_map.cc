@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Property tests for the address mapper: bijectivity, field ranges, and
+ * the MOP scheme's bank-interleaving behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/address_map.hh"
+
+namespace bh
+{
+namespace
+{
+
+class MapperParamTest : public ::testing::TestWithParam<MapScheme>
+{
+};
+
+TEST_P(MapperParamTest, DecodeEncodeRoundTrips)
+{
+    AddressMapper m(DramOrg::paperConfig(), GetParam());
+    Rng rng(101);
+    for (int i = 0; i < 5000; ++i) {
+        Addr line = rng.below(DramOrg::paperConfig().totalLines());
+        Addr addr = line * kLineBytes;
+        DramCoord c = m.decode(addr);
+        EXPECT_EQ(m.encode(c), addr);
+    }
+}
+
+TEST_P(MapperParamTest, FieldsInRange)
+{
+    DramOrg org = DramOrg::paperConfig();
+    AddressMapper m(org, GetParam());
+    Rng rng(202);
+    for (int i = 0; i < 5000; ++i) {
+        Addr addr = rng.below(org.totalLines()) * kLineBytes;
+        DramCoord c = m.decode(addr);
+        EXPECT_LT(c.channel, org.channels);
+        EXPECT_LT(c.rank, org.ranks);
+        EXPECT_LT(c.bankGroup, org.bankGroups);
+        EXPECT_LT(c.bank, org.banksPerGroup);
+        EXPECT_LT(c.row, org.rowsPerBank);
+        EXPECT_LT(c.col, org.linesPerRow);
+        EXPECT_LT(c.flatBank(org), org.banksPerChannel());
+    }
+}
+
+TEST_P(MapperParamTest, EncodeDecodeRoundTripsCoords)
+{
+    DramOrg org = DramOrg::tinyConfig();
+    AddressMapper m(org, GetParam());
+    for (unsigned bg = 0; bg < org.bankGroups; ++bg) {
+        for (unsigned bk = 0; bk < org.banksPerGroup; ++bk) {
+            for (RowId row : {0u, 1u, 255u}) {
+                for (unsigned col : {0u, 15u}) {
+                    DramCoord c;
+                    c.bankGroup = bg;
+                    c.bank = bk;
+                    c.row = row;
+                    c.col = col;
+                    DramCoord back = m.decode(m.encode(c));
+                    EXPECT_TRUE(back == c);
+                }
+            }
+        }
+    }
+}
+
+TEST_P(MapperParamTest, DistinctAddressesDistinctCoords)
+{
+    DramOrg org = DramOrg::tinyConfig();
+    AddressMapper m(org, GetParam());
+    // Exhaustive bijectivity over the tiny geometry.
+    std::vector<bool> seen(org.totalLines(), false);
+    for (Addr line = 0; line < org.totalLines(); ++line) {
+        DramCoord c = m.decode(line * kLineBytes);
+        Addr back = m.encode(c) / kLineBytes;
+        EXPECT_EQ(back, line);
+        EXPECT_FALSE(seen[line]);
+        seen[line] = true;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, MapperParamTest,
+                         ::testing::Values(MapScheme::kRowBankCol,
+                                           MapScheme::kMop),
+                         [](const auto &info) {
+                             return info.param == MapScheme::kMop
+                                 ? "Mop" : "RowBankCol";
+                         });
+
+TEST(MopMapping, ConsecutiveBlocksInterleaveBankGroups)
+{
+    DramOrg org = DramOrg::paperConfig();
+    AddressMapper m(org, MapScheme::kMop, 4);
+    // Lines 0-3 share a bank (one MOP block); lines 4-7 land in a
+    // different bank group.
+    DramCoord a = m.decode(0);
+    DramCoord b = m.decode(3 * kLineBytes);
+    DramCoord c = m.decode(4 * kLineBytes);
+    EXPECT_EQ(a.flatBank(org), b.flatBank(org));
+    EXPECT_NE(a.bankGroup, c.bankGroup);
+    EXPECT_EQ(a.row, c.row);
+}
+
+TEST(MopMapping, SequentialStreamTouchesAllBanksBeforeNewRow)
+{
+    DramOrg org = DramOrg::paperConfig();
+    AddressMapper m(org, MapScheme::kMop, 4);
+    std::set<unsigned> banks_seen;
+    RowId first_row = m.decode(0).row;
+    // One row's worth of MOP blocks per bank: 16 banks x 4-line blocks.
+    for (unsigned line = 0; line < 16 * 4; ++line) {
+        DramCoord c = m.decode(static_cast<Addr>(line) * kLineBytes);
+        EXPECT_EQ(c.row, first_row);
+        banks_seen.insert(c.flatBank(org));
+    }
+    EXPECT_EQ(banks_seen.size(), 16u);
+}
+
+TEST(RowBankColMapping, LowBitsAreColumns)
+{
+    DramOrg org = DramOrg::paperConfig();
+    AddressMapper m(org, MapScheme::kRowBankCol);
+    DramCoord a = m.decode(0);
+    DramCoord b = m.decode((org.linesPerRow - 1) * kLineBytes);
+    EXPECT_EQ(a.flatBank(org), b.flatBank(org));
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_NE(a.col, b.col);
+}
+
+TEST(Mapper, LineBitsMatchGeometry)
+{
+    DramOrg org = DramOrg::paperConfig();
+    AddressMapper m(org, MapScheme::kMop);
+    EXPECT_EQ(m.lineBits(), ceilLog2(org.totalLines()));
+}
+
+} // namespace
+} // namespace bh

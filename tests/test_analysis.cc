@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the analysis layer: the Section 5 security solver and the
+ * Table 4 hardware cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/hwcost.hh"
+#include "analysis/security.hh"
+
+namespace bh
+{
+namespace
+{
+
+BlockHammerConfig
+paperConfig()
+{
+    return BlockHammerConfig::forThreshold(32768, DramTimings::ddr4());
+}
+
+TEST(Security, EpochBoundsMatchTable2Structure)
+{
+    SecurityAnalyzer sa(paperConfig());
+    auto bounds = sa.epochBounds();
+    ASSERT_EQ(bounds.size(), 5u);
+    // T0/T1/T3 cap below N_BL; T2 is the largest; T4 is delay-paced.
+    EXPECT_EQ(bounds[0].nepMax, 8191);
+    EXPECT_EQ(bounds[1].nepMax, 8191);
+    EXPECT_EQ(bounds[3].nepMax, 8191);
+    EXPECT_GT(bounds[2].nepMax, bounds[4].nepMax);
+    EXPECT_GT(bounds[4].nepMax, 0);
+}
+
+TEST(Security, EpochCapacityBlacklistedIsDelayPaced)
+{
+    BlockHammerConfig cfg = paperConfig();
+    SecurityAnalyzer sa(cfg);
+    std::int64_t cap = sa.epochCapacity(cfg.nBL);
+    EXPECT_EQ(cap, sa.epochLength() / cfg.tDelay() + 1);
+}
+
+TEST(Security, EpochCapacityFreshRowGetsFreeActs)
+{
+    BlockHammerConfig cfg = paperConfig();
+    SecurityAnalyzer sa(cfg);
+    // Starting fresh: N_BL fast activations plus delay-paced remainder.
+    std::int64_t cap = sa.epochCapacity(0);
+    EXPECT_GT(cap, cfg.nBL);
+    // More previous-epoch acts means less headroom now.
+    EXPECT_GT(cap, sa.epochCapacity(cfg.nBL / 2));
+}
+
+TEST(Security, PaperConfigIsInfeasible)
+{
+    // The headline security claim: no access pattern reaches N_RH within
+    // a refresh window under the Table 1 configuration.
+    SecurityAnalyzer sa(paperConfig());
+    FeasibilityResult res = sa.analyze();
+    EXPECT_FALSE(res.attackPossible);
+    EXPECT_LT(res.maxActsInWindow, res.nRH);
+    EXPECT_GT(res.maxActsInWindow, 0);
+    EXPECT_FALSE(res.bestSequence.empty());
+}
+
+TEST(Security, AllScaledConfigsAreInfeasible)
+{
+    for (std::uint32_t nrh : {32768u, 16384u, 8192u, 4096u, 2048u, 1024u}) {
+        auto cfg = BlockHammerConfig::forThreshold(nrh, DramTimings::ddr4());
+        SecurityAnalyzer sa(cfg);
+        FeasibilityResult res = sa.analyze();
+        EXPECT_FALSE(res.attackPossible) << "nRH " << nrh;
+        EXPECT_LT(res.maxActsInWindow, static_cast<std::int64_t>(nrh))
+            << "nRH " << nrh;
+    }
+}
+
+TEST(Security, BoundIsTightAgainstNrhStar)
+{
+    // The design pushes the per-window bound close to (but never past)
+    // ~1.5x N_RH* for a window overlapping three epochs, comfortably
+    // below N_RH.
+    BlockHammerConfig cfg = paperConfig();
+    SecurityAnalyzer sa(cfg);
+    FeasibilityResult res = sa.analyze();
+    EXPECT_GE(res.maxActsInWindow, res.nRHStar / 2);
+    EXPECT_LT(res.maxActsInWindow, res.nRH);
+}
+
+TEST(Security, BrokenConfigIsDetected)
+{
+    // Sanity check of the solver itself: stretching the CBF lifetime far
+    // past the refresh window loosens tDelay enough to admit an attack.
+    BlockHammerConfig cfg = paperConfig();
+    cfg.tCBF = 4 * cfg.tREFW;
+    SecurityAnalyzer sa(cfg);
+    FeasibilityResult res = sa.analyze();
+    EXPECT_TRUE(res.attackPossible);
+}
+
+TEST(Security, EpochTypeNamesComplete)
+{
+    EXPECT_STREQ(epochTypeName(EpochType::T0), "T0");
+    EXPECT_STREQ(epochTypeName(EpochType::T4), "T4");
+}
+
+TEST(HwCost, BlockHammerMatchesCalibrationPoint)
+{
+    HwCostModel model;
+    auto cost = model.costFor("BlockHammer", 32768, DramTimings::ddr4());
+    ASSERT_TRUE(cost.has_value());
+    // Calibrated against Table 4: 0.14 mm^2, ~20 pJ, ~22 mW, 0.06% CPU.
+    EXPECT_NEAR(cost->areaMm2, 0.14, 0.04);
+    EXPECT_NEAR(cost->accessEnergyPj, 20.3, 9.0);
+    EXPECT_NEAR(cost->staticPowerMw, 22.3, 7.0);
+    EXPECT_NEAR(cost->cpuAreaPct, 0.06, 0.02);
+}
+
+TEST(HwCost, DcbfStorageMatchesTable4)
+{
+    HwCostModel model;
+    Storage dcbf = model.blockHammerDcbf(32768);
+    // Table 4: 48 KB of D-CBF SRAM per rank (2 x 1K x ~12b x 16 banks).
+    EXPECT_NEAR(dcbf.sramBits / 8.0 / 1024.0, 48.0, 16.0);
+    EXPECT_EQ(dcbf.camBits, 0.0);
+}
+
+TEST(HwCost, HistoryBufferGrowsAtLowThreshold)
+{
+    HwCostModel model;
+    auto t = DramTimings::ddr4();
+    Storage hb32k = model.blockHammerHistory(32768, t);
+    Storage hb1k = model.blockHammerHistory(1024, t);
+    EXPECT_GT(hb1k.camBits, 20 * hb32k.camBits);
+}
+
+TEST(HwCost, ScalingTrendsMatchTable4)
+{
+    HwCostModel model;
+    auto t = DramTimings::ddr4();
+    auto bh32 = model.costFor("BlockHammer", 32768, t);
+    auto bh1 = model.costFor("BlockHammer", 1024, t);
+    auto tw32 = model.costFor("TWiCe", 32768, t);
+    auto tw1 = model.costFor("TWiCe", 1024, t);
+    auto cbt1 = model.costFor("CBT", 1024, t);
+    ASSERT_TRUE(bh32 && bh1 && tw32 && tw1 && cbt1);
+    // Table 4 headline: at N_RH=1K, TWiCe and CBT cost multiples of
+    // BlockHammer's area.
+    EXPECT_GT(tw1->areaMm2, 2.0 * bh1->areaMm2);
+    EXPECT_GT(cbt1->areaMm2, 1.5 * bh1->areaMm2);
+    // And all mechanisms grow as the threshold shrinks.
+    EXPECT_GT(bh1->areaMm2, bh32->areaMm2);
+    EXPECT_GT(tw1->areaMm2, tw32->areaMm2);
+}
+
+TEST(HwCost, ProbabilisticMechanismsAreTiny)
+{
+    HwCostModel model;
+    auto para = model.costFor("PARA", 32768, DramTimings::ddr4());
+    ASSERT_TRUE(para.has_value());
+    EXPECT_LT(para->areaMm2, 0.01);
+}
+
+TEST(HwCost, FixedDesignPointsRefuseToScale)
+{
+    HwCostModel model;
+    auto t = DramTimings::ddr4();
+    EXPECT_FALSE(model.costFor("PRoHIT", 1024, t).has_value());
+    EXPECT_FALSE(model.costFor("MRLoc", 1024, t).has_value());
+    auto prohit = model.costFor("PRoHIT", 2048, t);
+    ASSERT_TRUE(prohit.has_value());
+    EXPECT_FALSE(prohit->scalable);
+}
+
+TEST(HwCost, GrapheneIsCamOnly)
+{
+    HwCostModel model;
+    auto g = model.costFor("Graphene", 32768, DramTimings::ddr4());
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->sramKiB, 0.0);
+    EXPECT_GT(g->camKiB, 0.0);
+}
+
+TEST(HwCost, UnknownMechanismIsNullopt)
+{
+    HwCostModel model;
+    EXPECT_FALSE(model.costFor("Nonsense", 32768,
+                               DramTimings::ddr4()).has_value());
+}
+
+} // namespace
+} // namespace bh

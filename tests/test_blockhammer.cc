@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Tests for BlockHammer: configuration math (Equations 1 and 3, Table 1,
+ * Table 7), the history buffer, RowBlocker, AttackThrottler, and the
+ * integrated mechanism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/security.hh"
+#include "blockhammer/blockhammer.hh"
+
+namespace bh
+{
+namespace
+{
+
+BlockHammerConfig
+paperConfig()
+{
+    return BlockHammerConfig::forThreshold(32768, DramTimings::ddr4());
+}
+
+/** Small config for fast dynamic tests. */
+BlockHammerConfig
+tinyConfig()
+{
+    BlockHammerConfig cfg;
+    cfg.nRH = 512;
+    cfg.nBL = 128;
+    cfg.tREFW = 100000;
+    cfg.tCBF = 100000;
+    cfg.tRC = 148;
+    cfg.tFAW = 112;
+    cfg.banks = 4;
+    cfg.threads = 4;
+    cfg.cbf.numCounters = 1024;
+    cfg.cbf.counterMax = 128;
+    return cfg;
+}
+
+TEST(BlockHammerConfig, Table1Values)
+{
+    BlockHammerConfig cfg = paperConfig();
+    // Table 1: N_RH=32K, N_RH*=16K, N_BL=8K, 1K-counter CBFs.
+    EXPECT_EQ(cfg.nRH, 32768u);
+    EXPECT_EQ(cfg.nRHStar(), 16384u);
+    EXPECT_EQ(cfg.nBL, 8192u);
+    EXPECT_EQ(cfg.cbf.numCounters, 1024u);
+    // tDelay = 7.7 us (paper); at 3.2 GHz that is ~24.6K cycles.
+    double tdelay_us = cyclesToNs(cfg.tDelay()) / 1000.0;
+    EXPECT_NEAR(tdelay_us, 7.7, 0.15);
+    // History buffer: 887 entries per rank (paper, +- formula rounding).
+    EXPECT_NEAR(cfg.historyEntries(), 887, 5);
+}
+
+TEST(BlockHammerConfig, Equation3WorstCase)
+{
+    // Section 4: r_blast=6, c_k=0.5^(k-1) gives N_RH* = 0.2539 N_RH.
+    BlockHammerConfig cfg = paperConfig();
+    cfg.blast = BlastModel::worstCase();
+    EXPECT_NEAR(static_cast<double>(cfg.nRHStar()) / cfg.nRH, 0.2539, 0.001);
+}
+
+TEST(BlockHammerConfig, Equation3DoubleSided)
+{
+    BlockHammerConfig cfg = paperConfig();
+    cfg.blast = BlastModel::doubleSided();
+    EXPECT_EQ(cfg.nRHStar(), cfg.nRH / 2);
+}
+
+TEST(BlockHammerConfig, Table7Scaling)
+{
+    // Table 7: (N_RH, N_BL, CBF size).
+    struct Row { std::uint32_t nrh, nbl, cbf; };
+    const Row rows[] = {
+        {32768, 8192, 1024}, {16384, 4096, 1024}, {8192, 2048, 1024},
+        {4096, 1024, 2048}, {2048, 512, 4096}, {1024, 256, 8192},
+    };
+    for (const Row &r : rows) {
+        auto cfg = BlockHammerConfig::forThreshold(r.nrh,
+                                                   DramTimings::ddr4());
+        EXPECT_EQ(cfg.nBL, r.nbl) << "nRH " << r.nrh;
+        EXPECT_EQ(cfg.cbf.numCounters, r.cbf) << "nRH " << r.nrh;
+        EXPECT_EQ(cfg.tCBF, cfg.tREFW);
+    }
+}
+
+TEST(BlockHammerConfig, TdelayGrowsAsThresholdShrinks)
+{
+    Cycle prev = 0;
+    for (std::uint32_t nrh : {32768u, 8192u, 2048u, 1024u}) {
+        auto cfg = BlockHammerConfig::forThreshold(nrh, DramTimings::ddr4());
+        EXPECT_GT(cfg.tDelay(), prev);
+        prev = cfg.tDelay();
+    }
+}
+
+TEST(BlockHammerConfig, HistoryGrowsAsThresholdShrinks)
+{
+    auto big = BlockHammerConfig::forThreshold(32768, DramTimings::ddr4());
+    auto small = BlockHammerConfig::forThreshold(1024, DramTimings::ddr4());
+    // Paper: 887 entries at 32K -> 27.8K entries at 1K (formula rounding
+    // lands ours at ~28.5K).
+    EXPECT_NEAR(small.historyEntries(), 28500, 900);
+    EXPECT_GT(small.historyEntries(), 20 * big.historyEntries());
+}
+
+TEST(BlockHammerConfig, RhliDenominator)
+{
+    BlockHammerConfig cfg = paperConfig();
+    // tCBF == tREFW: denominator = N_RH* - N_BL = 8192.
+    EXPECT_DOUBLE_EQ(cfg.rhliDenominator(), 8192.0);
+    EXPECT_EQ(cfg.throttlerCounterMax(), 16384u);
+}
+
+TEST(HistoryBuffer, RecentlyActivatedWithinWindow)
+{
+    HistoryBuffer hb(16, 100);
+    hb.insert(42, 1000);
+    EXPECT_TRUE(hb.recentlyActivated(42, 1050));
+    EXPECT_FALSE(hb.recentlyActivated(43, 1050));
+}
+
+TEST(HistoryBuffer, ExpiresAfterDelayWindow)
+{
+    HistoryBuffer hb(16, 100);
+    hb.insert(42, 1000);
+    EXPECT_TRUE(hb.recentlyActivated(42, 1099));
+    EXPECT_FALSE(hb.recentlyActivated(42, 1100));
+}
+
+TEST(HistoryBuffer, TracksMultipleEntriesOfSameRow)
+{
+    HistoryBuffer hb(16, 100);
+    hb.insert(42, 1000);
+    hb.insert(42, 1050);
+    // First record expires; the second still covers the row.
+    EXPECT_TRUE(hb.recentlyActivated(42, 1120));
+    EXPECT_FALSE(hb.recentlyActivated(42, 1150));
+}
+
+TEST(HistoryBuffer, CapacityAndValidCount)
+{
+    HistoryBuffer hb(8, 1000);
+    for (int i = 0; i < 8; ++i)
+        hb.insert(i, i);
+    EXPECT_EQ(hb.validCount(), 8u);
+    EXPECT_EQ(hb.capacity(), 8u);
+}
+
+TEST(HistoryBufferDeath, OverflowPanics)
+{
+    HistoryBuffer hb(4, 1000);
+    for (int i = 0; i < 4; ++i)
+        hb.insert(i, i);
+    EXPECT_DEATH(hb.insert(99, 10), "overflow");
+}
+
+TEST(HistoryBuffer, ReusesSlotsAfterExpiry)
+{
+    HistoryBuffer hb(4, 10);
+    for (int round = 0; round < 20; ++round)
+        hb.insert(round, round * 20);   // every insert expires the last
+    EXPECT_EQ(hb.validCount(), 1u);
+}
+
+TEST(RowBlocker, SafeUntilBlacklisted)
+{
+    RowBlocker rb(tinyConfig());
+    Cycle now = 0;
+    for (int i = 0; i < 127; ++i) {
+        EXPECT_TRUE(rb.isSafe(0, 5, now));
+        rb.onActivate(0, 5, now);
+        now += 200;
+    }
+    EXPECT_FALSE(rb.isBlacklisted(0, 5));
+    rb.onActivate(0, 5, now);
+    EXPECT_TRUE(rb.isBlacklisted(0, 5));
+    // Blacklisted + just activated => unsafe.
+    EXPECT_FALSE(rb.isSafe(0, 5, now + 1));
+}
+
+TEST(RowBlocker, SafeAgainAfterDelay)
+{
+    BlockHammerConfig cfg = tinyConfig();
+    RowBlocker rb(cfg);
+    Cycle now = 0;
+    for (int i = 0; i < 128; ++i) {
+        rb.onActivate(0, 5, now);
+        now += 200;
+    }
+    ASSERT_TRUE(rb.isBlacklisted(0, 5));
+    EXPECT_FALSE(rb.isSafe(0, 5, now));
+    EXPECT_TRUE(rb.isSafe(0, 5, now - 200 + rb.tDelay()));
+}
+
+TEST(RowBlocker, OtherRowsUnaffected)
+{
+    RowBlocker rb(tinyConfig());
+    Cycle now = 0;
+    for (int i = 0; i < 128; ++i) {
+        rb.onActivate(0, 5, now);
+        now += 200;
+    }
+    EXPECT_TRUE(rb.isSafe(0, 9999, now));
+    EXPECT_TRUE(rb.isSafe(1, 5, now));      // same row id, different bank
+}
+
+TEST(RowBlocker, ActivationEstimateUpperBoundsTruth)
+{
+    RowBlocker rb(tinyConfig());
+    for (int i = 0; i < 50; ++i)
+        rb.onActivate(2, 77, i * 200);
+    EXPECT_GE(rb.activationEstimate(2, 77), 50u);
+}
+
+TEST(AttackThrottler, BenignThreadsUnlimited)
+{
+    AttackThrottler at(tinyConfig());
+    EXPECT_DOUBLE_EQ(at.rhli(0, 0), 0.0);
+    EXPECT_EQ(at.quota(0, 0), -1);
+}
+
+TEST(AttackThrottler, RhliGrowsWithBlacklistedActs)
+{
+    BlockHammerConfig cfg = tinyConfig();
+    AttackThrottler at(cfg);
+    for (int i = 0; i < 10; ++i)
+        at.onBlacklistedActivate(1, 2);
+    EXPECT_NEAR(at.rhli(1, 2), 10.0 / cfg.rhliDenominator(), 1e-9);
+    EXPECT_DOUBLE_EQ(at.rhli(1, 3), 0.0);   // other banks unaffected
+    EXPECT_DOUBLE_EQ(at.rhli(2, 2), 0.0);   // other threads unaffected
+}
+
+TEST(AttackThrottler, QuotaShrinksAndReachesZero)
+{
+    BlockHammerConfig cfg = tinyConfig();
+    AttackThrottler at(cfg);
+    auto denom = static_cast<int>(cfg.rhliDenominator());
+    for (int i = 0; i < denom / 2; ++i)
+        at.onBlacklistedActivate(0, 0);
+    int half_quota = at.quota(0, 0);
+    EXPECT_GT(half_quota, 0);
+    EXPECT_LT(half_quota, cfg.baseQuota);
+    for (int i = 0; i < denom; ++i)
+        at.onBlacklistedActivate(0, 0);
+    // In isolation the counter keeps counting past the RHLI=1 point (in a
+    // protected system the zero quota stops the activations instead).
+    EXPECT_GE(at.rhli(0, 0), 1.0);
+    EXPECT_EQ(at.quota(0, 0), 0);
+}
+
+TEST(AttackThrottler, MaxRhliAcrossBanks)
+{
+    AttackThrottler at(tinyConfig());
+    at.onBlacklistedActivate(0, 3);
+    EXPECT_GT(at.maxRhli(0), 0.0);
+    EXPECT_DOUBLE_EQ(at.maxRhli(1), 0.0);
+}
+
+TEST(AttackThrottler, EpochSwapRetainsRecentHistory)
+{
+    BlockHammerConfig cfg = tinyConfig();
+    AttackThrottler at(cfg);
+    for (int i = 0; i < 20; ++i)
+        at.onBlacklistedActivate(0, 0);
+    double before = at.rhli(0, 0);
+    at.onEpochBoundary();
+    // The swapped-in counter accumulated the same history.
+    EXPECT_DOUBLE_EQ(at.rhli(0, 0), before);
+    at.onEpochBoundary();
+    // Two quiet epochs: history fully expired.
+    EXPECT_DOUBLE_EQ(at.rhli(0, 0), 0.0);
+}
+
+TEST(BlockHammerMech, BlocksOnlyBlacklistedRecentRows)
+{
+    BlockHammerConfig cfg = tinyConfig();
+    BlockHammer bh(cfg);
+    Cycle now = 0;
+    for (int i = 0; i < 200; ++i) {
+        bh.onActivate(0, 5, 0, now);
+        now += 200;
+    }
+    EXPECT_FALSE(bh.isActSafe(0, 5, 0, now));
+    EXPECT_TRUE(bh.isActSafe(0, 6, 0, now));
+    EXPECT_GT(bh.unsafeVerdicts(), 0u);
+}
+
+TEST(BlockHammerMech, ObserveOnlyNeverBlocks)
+{
+    BlockHammerConfig cfg = tinyConfig();
+    cfg.observeOnly = true;
+    BlockHammer bh(cfg);
+    Cycle now = 0;
+    for (int i = 0; i < 200; ++i) {
+        bh.onActivate(0, 5, 0, now);
+        now += 200;
+    }
+    EXPECT_TRUE(bh.isActSafe(0, 5, 0, now));
+    EXPECT_EQ(bh.quota(0, 0), -1);
+    // But it still measures.
+    EXPECT_GT(bh.blacklistedActivations(), 0u);
+}
+
+TEST(BlockHammerMech, DelayHistogramRecordsPenalties)
+{
+    BlockHammerConfig cfg = tinyConfig();
+    BlockHammer bh(cfg);
+    Cycle now = 0;
+    for (int i = 0; i < 128; ++i) {
+        bh.onActivate(0, 5, 0, now);
+        now += 200;
+    }
+    // Refused at `now`, issued 500 cycles later.
+    EXPECT_FALSE(bh.isActSafe(0, 5, 0, now));
+    bh.onActivate(0, 5, 0, now + 500);
+    EXPECT_EQ(bh.delayedActivations(), 1u);
+    EXPECT_EQ(bh.delayHistogram().count(), 1u);
+    EXPECT_EQ(bh.delayHistogram().max(), 500);
+}
+
+TEST(BlockHammerMech, TrueAggressorIsNotAFalsePositive)
+{
+    BlockHammerConfig cfg = tinyConfig();
+    BlockHammer bh(cfg);
+    Cycle now = 0;
+    for (int i = 0; i < 200; ++i) {
+        bh.onActivate(0, 5, 0, now);
+        now += 200;
+    }
+    bh.isActSafe(0, 5, 0, now);
+    bh.onActivate(0, 5, 0, now + 500);
+    EXPECT_EQ(bh.falsePositiveActivations(), 0u);
+}
+
+TEST(BlockHammerMech, RhliExposedPerThreadBank)
+{
+    BlockHammerConfig cfg = tinyConfig();
+    BlockHammer bh(cfg);
+    Cycle now = 0;
+    for (int i = 0; i < 200; ++i) {
+        bh.onActivate(1, 5, /*thread=*/2, now);
+        now += 200;
+    }
+    EXPECT_GT(bh.rhli(2, 1), 0.0);
+    EXPECT_DOUBLE_EQ(bh.rhli(0, 1), 0.0);
+    EXPECT_GT(bh.maxRhli(2), 0.0);
+}
+
+TEST(BlockHammerMech, EpochTickSynchronizesComponents)
+{
+    BlockHammerConfig cfg = tinyConfig();
+    BlockHammer bh(cfg);
+    Cycle now = 0;
+    for (int i = 0; i < 200; ++i) {
+        bh.onActivate(0, 5, 1, now);
+        now += 200;
+    }
+    double rhli_before = bh.rhli(1, 0);
+    ASSERT_GT(rhli_before, 0.0);
+    // Two full epochs with no activity: blacklist and RHLI both expire.
+    bh.tick(cfg.tCBF / 2);
+    bh.tick(cfg.tCBF);
+    EXPECT_DOUBLE_EQ(bh.rhli(1, 0), 0.0);
+    EXPECT_TRUE(bh.isActSafe(0, 5, 1, cfg.tCBF + 1));
+}
+
+} // namespace
+} // namespace bh

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit manipulation, RNG, statistics,
+ * table rendering, and time conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace bh
+{
+namespace
+{
+
+TEST(BitUtils, BitsExtractsRanges)
+{
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 0, 8), 0x00u);
+    EXPECT_EQ(bits(0xdeadbeef, 4, 4), 0xeu);
+    EXPECT_EQ(bits(0xffffffffffffffffull, 0, 64), 0xffffffffffffffffull);
+    EXPECT_EQ(bits(0x1234, 0, 0), 0u);
+}
+
+TEST(BitUtils, PlaceBitsInvertsBits)
+{
+    for (unsigned lo : {0u, 3u, 17u, 40u}) {
+        for (unsigned w : {1u, 4u, 9u}) {
+            std::uint64_t v = 0x15 & ((1ull << w) - 1);
+            EXPECT_EQ(bits(placeBits(v, lo, w), lo, w), v)
+                << "lo=" << lo << " w=" << w;
+        }
+    }
+}
+
+TEST(BitUtils, PlaceBitsMasksOverflow)
+{
+    EXPECT_EQ(placeBits(0xff, 0, 4), 0xfull);
+}
+
+TEST(BitUtils, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtils, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(65536));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(65537));
+}
+
+TEST(BitUtils, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2);
+    EXPECT_EQ(ceilDiv(11, 5), 3);
+    EXPECT_EQ(ceilDiv(1, 100), 1);
+    EXPECT_EQ(ceilDiv(0, 7), 0);
+}
+
+TEST(Types, NsToCyclesRoundsUp)
+{
+    // 3.2 GHz: 1 ns = 3.2 cycles -> 4.
+    EXPECT_EQ(nsToCycles(1.0), 4);
+    EXPECT_EQ(nsToCycles(10.0), 32);
+    EXPECT_EQ(nsToCycles(46.25), 148);
+    EXPECT_EQ(nsToCycles(0.0), 0);
+}
+
+TEST(Types, CyclesToNsRoundTrips)
+{
+    EXPECT_DOUBLE_EQ(cyclesToNs(320), 100.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ForkIndependent)
+{
+    Rng a(5);
+    Rng b = a.fork();
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Histogram, BasicStats)
+{
+    Histogram h;
+    for (std::int64_t v : {5, 1, 9, 3, 7})
+        h.add(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.min(), 1);
+    EXPECT_EQ(h.max(), 9);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.add(i);
+    EXPECT_EQ(h.percentile(0), 1);
+    EXPECT_EQ(h.percentile(100), 100);
+    EXPECT_NEAR(static_cast<double>(h.percentile(50)), 50.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(h.percentile(90)), 90.0, 1.0);
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50), 0);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h;
+    h.add(4);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ReservoirKeepsMinMaxExact)
+{
+    Histogram h(64);
+    for (int i = 0; i < 10000; ++i)
+        h.add(i);
+    EXPECT_EQ(h.count(), 10000u);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 9999);
+    EXPECT_DOUBLE_EQ(h.mean(), 4999.5);
+}
+
+TEST(StatSet, CountersAccumulate)
+{
+    StatSet s;
+    s.inc("a");
+    s.inc("a", 4);
+    EXPECT_EQ(s.counter("a"), 5u);
+    EXPECT_EQ(s.counter("missing"), 0u);
+}
+
+TEST(StatSet, Scalars)
+{
+    StatSet s;
+    s.set("x", 2.5);
+    EXPECT_DOUBLE_EQ(s.scalar("x"), 2.5);
+    s.set("x", 3.0);
+    EXPECT_DOUBLE_EQ(s.scalar("x"), 3.0);
+}
+
+TEST(StatSet, Histograms)
+{
+    StatSet s;
+    s.sample("lat", 10);
+    s.sample("lat", 20);
+    EXPECT_EQ(s.hist("lat").count(), 2u);
+    EXPECT_NE(s.findHist("lat"), nullptr);
+    EXPECT_EQ(s.findHist("nope"), nullptr);
+}
+
+TEST(StatSet, ClearAndDump)
+{
+    StatSet s;
+    s.inc("n", 3);
+    s.set("v", 1.5);
+    s.sample("h", 7);
+    std::string dump = s.dump();
+    EXPECT_NE(dump.find("n 3"), std::string::npos);
+    s.clear();
+    EXPECT_EQ(s.counter("n"), 0u);
+}
+
+TEST(TextTable, RendersAligned)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "2"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumFormats)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(Log, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("a=%d b=%s", 3, "x"), "a=3 b=x");
+    EXPECT_EQ(strfmt("%05.1f", 2.25), "002.2");
+}
+
+} // namespace
+} // namespace bh

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the memory controller: queueing, FR-FCFS behavior, refresh
+ * cadence, victim refreshes, mitigation blocking, and quota enforcement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mem/mem_system.hh"
+
+namespace bh
+{
+namespace
+{
+
+/** Scripted mitigation used to probe the controller hooks. */
+class ScriptedMitigation : public Mitigation
+{
+  public:
+    std::string name() const override { return "Scripted"; }
+
+    bool
+    isActSafe(unsigned bank, RowId row, ThreadId, Cycle) override
+    {
+        auto key = (static_cast<std::uint64_t>(bank) << 32) | row;
+        return blockedRows.count(key) == 0;
+    }
+
+    void
+    onActivate(unsigned bank, RowId row, ThreadId, Cycle) override
+    {
+        activations.push_back({bank, row});
+    }
+
+    void
+    onAutoRefresh(RowId, unsigned, Cycle) override
+    {
+        ++refreshCount;
+    }
+
+    int
+    quota(ThreadId thread, unsigned) const override
+    {
+        auto it = quotas.find(thread);
+        return it == quotas.end() ? -1 : it->second;
+    }
+
+    void
+    blockRow(unsigned bank, RowId row)
+    {
+        blockedRows.insert((static_cast<std::uint64_t>(bank) << 32) | row);
+    }
+
+    std::set<std::uint64_t> blockedRows;
+    std::map<ThreadId, int> quotas;
+    std::vector<std::pair<unsigned, RowId>> activations;
+    unsigned refreshCount = 0;
+};
+
+/** Harness wiring a MemSystem with the scripted mechanism. */
+class MemTest : public ::testing::Test
+{
+  protected:
+    MemTest()
+    {
+        MemSystemConfig cfg;
+        cfg.enableEnergy = false;
+        cfg.enableHammerObserver = false;
+        auto mit = std::make_unique<ScriptedMitigation>();
+        mitig = mit.get();
+        mem = std::make_unique<MemSystem>(cfg, std::move(mit));
+    }
+
+    /** Submit a read to (bank, row, col); returns completion flag. */
+    std::shared_ptr<Cycle>
+    read(unsigned bank, RowId row, unsigned col = 0, ThreadId thread = 0)
+    {
+        DramCoord c;
+        const DramOrg &org = mem->mapper().organization();
+        c.rank = bank / org.banksPerRank();
+        unsigned in_rank = bank % org.banksPerRank();
+        c.bankGroup = in_rank / org.banksPerGroup;
+        c.bank = in_rank % org.banksPerGroup;
+        c.row = row;
+        c.col = col;
+        Request req;
+        req.addr = mem->mapper().encode(c);
+        req.type = ReqType::kRead;
+        req.thread = thread;
+        req.arrival = now;
+        auto done = std::make_shared<Cycle>(-1);
+        req.onComplete = [done](Cycle c2) { *done = c2; };
+        lastResult = mem->submit(std::move(req));
+        return done;
+    }
+
+    void
+    runFor(Cycle cycles)
+    {
+        for (Cycle end = now + cycles; now < end; ++now)
+            mem->tick(now);
+    }
+
+    std::unique_ptr<MemSystem> mem;
+    ScriptedMitigation *mitig = nullptr;
+    SubmitResult lastResult = SubmitResult::kAccepted;
+    Cycle now = 0;
+};
+
+TEST_F(MemTest, ReadCompletesWithActLatency)
+{
+    auto done = read(0, 100);
+    EXPECT_EQ(lastResult, SubmitResult::kAccepted);
+    runFor(200);
+    const auto &t = mem->device().timings();
+    ASSERT_GE(*done, 0);
+    // ACT at ~0, RD at tRCD, data at +tCL+tBL.
+    EXPECT_NEAR(static_cast<double>(*done),
+                static_cast<double>(t.tRCD + t.tCL + t.tBL), 8.0);
+}
+
+TEST_F(MemTest, RowHitFasterThanConflict)
+{
+    auto first = read(0, 100);
+    runFor(200);
+    Cycle hit_start = now;
+    auto hit = read(0, 100, 5);
+    runFor(200);
+    Cycle hit_latency = *hit - hit_start;
+
+    Cycle conf_start = now;
+    auto conf = read(0, 200);
+    runFor(400);
+    Cycle conf_latency = *conf - conf_start;
+    EXPECT_LT(hit_latency, conf_latency);
+    EXPECT_GE(*first, 0);
+    EXPECT_EQ(mem->controller().rowHits(), 1u);
+    EXPECT_EQ(mem->controller().rowConflicts(), 1u);
+    EXPECT_EQ(mem->controller().rowMisses(), 1u);
+}
+
+TEST_F(MemTest, FrFcfsPrefersRowHit)
+{
+    // Open row 100 in bank 0, then enqueue an older conflict (row 200)
+    // and a younger hit (row 100). The hit's column command should issue
+    // while the conflict waits for tRAS.
+    auto warm = read(0, 100);
+    runFor(200);
+    auto conflict = read(0, 200);
+    auto hit = read(0, 100, 9);
+    runFor(400);
+    EXPECT_GE(*warm, 0);
+    EXPECT_LT(*hit, *conflict);
+}
+
+TEST_F(MemTest, QueueFullRejects)
+{
+    for (unsigned i = 0; i < 64; ++i) {
+        read(0, 1000 + i);
+        EXPECT_EQ(lastResult, SubmitResult::kAccepted) << i;
+    }
+    read(0, 5000);
+    EXPECT_EQ(lastResult, SubmitResult::kQueueFull);
+}
+
+TEST_F(MemTest, QuotaRejectsAtLimit)
+{
+    mitig->quotas[0] = 2;
+    read(0, 100, 0, 0);
+    EXPECT_EQ(lastResult, SubmitResult::kAccepted);
+    read(0, 101, 0, 0);
+    EXPECT_EQ(lastResult, SubmitResult::kAccepted);
+    read(0, 102, 0, 0);
+    EXPECT_EQ(lastResult, SubmitResult::kQuotaExceeded);
+    // Another thread is unaffected.
+    read(0, 103, 0, 1);
+    EXPECT_EQ(lastResult, SubmitResult::kAccepted);
+    // A different bank of the same thread is unaffected.
+    read(1, 104, 0, 0);
+    EXPECT_EQ(lastResult, SubmitResult::kAccepted);
+    EXPECT_EQ(mem->quotaRejects(), 1u);
+}
+
+TEST_F(MemTest, QuotaZeroBlocksEverything)
+{
+    mitig->quotas[3] = 0;
+    read(0, 100, 0, 3);
+    EXPECT_EQ(lastResult, SubmitResult::kQuotaExceeded);
+}
+
+TEST_F(MemTest, BlockedActIsDeferredUntilUnblocked)
+{
+    mitig->blockRow(0, 100);
+    auto done = read(0, 100);
+    runFor(500);
+    EXPECT_EQ(*done, -1);   // still blocked
+    EXPECT_GT(mem->controller().blockedActQueries(), 0u);
+    mitig->blockedRows.clear();
+    runFor(300);
+    EXPECT_GE(*done, 0);
+}
+
+TEST_F(MemTest, BlockedRowDoesNotStallOtherRequests)
+{
+    mitig->blockRow(0, 100);
+    auto blocked = read(0, 100);
+    auto free1 = read(0, 200);      // same bank, younger, safe
+    auto free2 = read(1, 300);      // other bank
+    runFor(600);
+    EXPECT_EQ(*blocked, -1);
+    EXPECT_GE(*free1, 0);
+    EXPECT_GE(*free2, 0);
+}
+
+TEST_F(MemTest, MitigationSeesDemandActivations)
+{
+    read(0, 100);
+    read(1, 200);
+    runFor(300);
+    ASSERT_EQ(mitig->activations.size(), 2u);
+    EXPECT_EQ(mitig->activations[0].second, 100u);
+    EXPECT_EQ(mitig->activations[1].second, 200u);
+}
+
+TEST_F(MemTest, RefreshHappensEveryTrefi)
+{
+    const auto &t = mem->device().timings();
+    runFor(t.tREFI * 4 + 100);
+    EXPECT_NEAR(static_cast<double>(mem->controller().refreshes()), 4.0, 1.0);
+    EXPECT_EQ(mitig->refreshCount, mem->controller().refreshes());
+}
+
+TEST_F(MemTest, VictimRefreshOccupiesBank)
+{
+    mem->controller().scheduleVictimRefresh(0, 500);
+    EXPECT_EQ(mem->controller().pendingVictimRefreshes(), 1u);
+    runFor(200);
+    EXPECT_EQ(mem->controller().pendingVictimRefreshes(), 0u);
+    EXPECT_EQ(mem->controller().victimRefreshesDone(), 1u);
+}
+
+TEST_F(MemTest, VictimRefreshPrioritizedOverDemand)
+{
+    // Victim refresh to bank 0 scheduled before a demand read arrives:
+    // the demand ACT must wait for the refresh ACT+PRE cycle.
+    mem->controller().scheduleVictimRefresh(0, 500);
+    auto done = read(0, 100);
+    runFor(400);
+    EXPECT_GE(*done, 0);
+    EXPECT_EQ(mem->controller().victimRefreshesDone(), 1u);
+    const auto &t = mem->device().timings();
+    // Demand completion must come after a full refresh tRAS+tRP at least.
+    EXPECT_GT(*done, t.tRAS + t.tRP);
+}
+
+TEST_F(MemTest, WritesAreServedWhenReadsIdle)
+{
+    DramCoord c;
+    c.row = 42;
+    Request req;
+    req.addr = mem->mapper().encode(c);
+    req.type = ReqType::kWrite;
+    req.thread = 0;
+    ASSERT_EQ(mem->submit(std::move(req)), SubmitResult::kAccepted);
+    runFor(300);
+    EXPECT_EQ(mem->controller().writeQueueDepth(), 0u);
+    EXPECT_EQ(mem->controller().device().stats.counter("dram.wr"), 1u);
+}
+
+TEST_F(MemTest, InflightTracksAcceptedReads)
+{
+    read(0, 100, 0, 2);
+    read(0, 101, 0, 2);
+    EXPECT_EQ(mem->controller().inflight(2, 0), 2);
+    runFor(500);
+    EXPECT_EQ(mem->controller().inflight(2, 0), 0);
+}
+
+TEST_F(MemTest, PerThreadStatsAttributed)
+{
+    read(0, 100, 0, 1);
+    runFor(200);
+    read(0, 100, 3, 1);     // row hit for thread 1
+    runFor(200);
+    const auto &ts = mem->controller().threadStats(1);
+    EXPECT_EQ(ts.reads, 2u);
+    EXPECT_EQ(ts.rowHits, 1u);
+    EXPECT_EQ(ts.rowMisses, 1u);
+    EXPECT_EQ(ts.activates, 1u);
+}
+
+TEST_F(MemTest, SyncStatsPublishesCounters)
+{
+    read(0, 100);
+    runFor(200);
+    mem->controller().syncStats();
+    EXPECT_EQ(mem->controller().stats.counter("mc.reads"), 1u);
+    EXPECT_EQ(mem->controller().stats.counter("mc.act_demand"), 1u);
+}
+
+} // namespace
+} // namespace bh

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit tests for the six baseline mitigation mechanisms, driven through a
+ * recording stub controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "mem/controller.hh"
+#include "mitigations/cbt.hh"
+#include "mitigations/graphene.hh"
+#include "mitigations/mrloc.hh"
+#include "mitigations/para.hh"
+#include "mitigations/prohit.hh"
+#include "mitigations/twice.hh"
+
+namespace bh
+{
+namespace
+{
+
+/** Records victim refreshes that mechanisms schedule. */
+class RecordingController
+{
+  public:
+    RecordingController()
+        : timings(DramTimings::ddr4()),
+          dev(DramOrg::paperConfig(), timings), nullMitig(),
+          ctrl(dev, ControllerConfig{}, nullMitig, nullptr, nullptr)
+    {
+    }
+
+    DramTimings timings;
+    DramDevice dev;
+    NullMitigation nullMitig;
+    MemController ctrl;
+};
+
+MitigationSettings
+tinySettings(std::uint32_t n_rh = 1024)
+{
+    MitigationSettings s;
+    s.nRH = n_rh;
+    s.blastRadius = 1;
+    s.timings = DramTimings::ddr4();
+    s.banks = 16;
+    s.rowsPerBank = 65536;
+    s.threads = 8;
+    s.seed = 7;
+    return s;
+}
+
+TEST(Para, ProbabilityForPaperThreshold)
+{
+    // (1 - p/2)^16384 <= 1e-15  =>  p ~ 0.0042 for N_RH* = 16K.
+    double p = Para::solveProbability(16384);
+    EXPECT_NEAR(p, 0.0042, 0.0004);
+    EXPECT_NEAR(std::pow(1.0 - p / 2.0, 16384), 1e-15, 1e-16);
+}
+
+TEST(Para, ProbabilityGrowsAsThresholdShrinks)
+{
+    EXPECT_GT(Para::solveProbability(512), Para::solveProbability(16384));
+    EXPECT_LE(Para::solveProbability(2), 1.0);
+}
+
+TEST(Para, RefreshRateMatchesProbability)
+{
+    RecordingController rc;
+    Para para(tinySettings(4096));
+    para.setController(&rc.ctrl);
+    const int acts = 50000;
+    for (int i = 0; i < acts; ++i)
+        para.onActivate(i % 16, 1000 + (i % 7), 0, i);
+    double rate = static_cast<double>(para.refreshesIssued()) / acts;
+    EXPECT_NEAR(rate, para.probability(), 0.15 * para.probability());
+}
+
+TEST(Para, RefreshTargetsNeighbors)
+{
+    RecordingController rc;
+    Para para(tinySettings(64));    // high probability
+    para.setController(&rc.ctrl);
+    for (int i = 0; i < 100; ++i)
+        para.onActivate(3, 500, 0, i);
+    EXPECT_GT(rc.ctrl.pendingVictimRefreshes(), 0u);
+}
+
+TEST(Prohit, InsertionIsProbabilistic)
+{
+    RecordingController rc;
+    Prohit ph(tinySettings());
+    ph.setController(&rc.ctrl);
+    // One activation rarely inserts (p = 1/16); hammering inserts surely.
+    for (int i = 0; i < 200; ++i)
+        ph.onActivate(0, 42, 0, i);
+    ph.onAutoRefresh(0, 8, 1000);
+    // Row 42 should have reached the hot queue and its neighbors been
+    // refreshed.
+    EXPECT_GE(ph.refreshesIssued(), 2u);
+}
+
+TEST(Prohit, HotQueueServedOnRefresh)
+{
+    RecordingController rc;
+    Prohit ph(tinySettings());
+    ph.setController(&rc.ctrl);
+    for (int i = 0; i < 500; ++i)
+        ph.onActivate(1, 77, 0, i);
+    auto before = rc.ctrl.pendingVictimRefreshes();
+    ph.onAutoRefresh(0, 8, 1000);
+    EXPECT_GT(rc.ctrl.pendingVictimRefreshes(), before);
+}
+
+TEST(MrLoc, LocalityRaisesProbability)
+{
+    // A hammered victim (high locality) should be refreshed much more
+    // often than PARA's base rate.
+    RecordingController rc;
+    MrLoc ml(tinySettings(8192));
+    ml.setController(&rc.ctrl);
+    const int acts = 20000;
+    for (int i = 0; i < acts; ++i)
+        ml.onActivate(0, 1000, 0, i);   // always the same aggressor
+    double rate = static_cast<double>(ml.refreshesIssued()) / acts;
+    EXPECT_GT(rate, ml.baseProbability());
+}
+
+TEST(MrLoc, ColdVictimsGetBaseRate)
+{
+    RecordingController rc;
+    MrLoc ml(tinySettings(8192));
+    ml.setController(&rc.ctrl);
+    const int acts = 40000;
+    for (int i = 0; i < acts; ++i)
+        ml.onActivate(i % 16, (i * 37) % 60000, 0, i);  // no locality
+    double rate = static_cast<double>(ml.refreshesIssued()) / acts;
+    EXPECT_NEAR(rate, ml.baseProbability(), 0.4 * ml.baseProbability());
+}
+
+TEST(Cbt, ThresholdLadderDoublesPerLevel)
+{
+    Cbt cbt(tinySettings(32768));
+    const auto &thr = cbt.thresholds();
+    ASSERT_EQ(thr.size(), 6u);
+    for (std::size_t l = 1; l < thr.size(); ++l)
+        EXPECT_EQ(thr[l], thr[l - 1] * 2);
+    // Leaf threshold = effective budget / 2 = 32768/2/2.
+    EXPECT_EQ(thr.back(), 8192u);
+}
+
+TEST(Cbt, AutoDepthGrowsAtLowerThresholds)
+{
+    Cbt big(tinySettings(32768));
+    Cbt small(tinySettings(1024));
+    EXPECT_GT(small.thresholds().size(), big.thresholds().size());
+}
+
+TEST(Cbt, HammeredRegionGetsRefreshed)
+{
+    RecordingController rc;
+    MitigationSettings s = tinySettings(1024);
+    Cbt cbt(s);
+    cbt.setController(&rc.ctrl);
+    for (int i = 0; i < 20000; ++i)
+        cbt.onActivate(0, 4096, 0, i);
+    EXPECT_GT(cbt.regionRefreshes(), 0u);
+    EXPECT_GT(cbt.rowsRefreshed(), 0u);
+}
+
+TEST(Cbt, SpreadAccessesDoNotTriggerRefreshes)
+{
+    RecordingController rc;
+    MitigationSettings s = tinySettings(32768);
+    Cbt cbt(s);
+    cbt.setController(&rc.ctrl);
+    // Benign-like: 100K activations spread across the whole bank.
+    Rng rng(5);
+    for (int i = 0; i < 100000; ++i)
+        cbt.onActivate(0, static_cast<RowId>(rng.below(65536)), 0, i);
+    EXPECT_EQ(cbt.regionRefreshes(), 0u);
+}
+
+TEST(Cbt, WindowResetCollapsesTree)
+{
+    RecordingController rc;
+    MitigationSettings s = tinySettings(1024);
+    Cbt cbt(s);
+    cbt.setController(&rc.ctrl);
+    for (int i = 0; i < 5000; ++i)
+        cbt.onActivate(0, 4096, 0, i);
+    auto before = cbt.regionRefreshes();
+    cbt.tick(s.timings.tREFW + 1);
+    // After the reset the same row must climb the ladder again from zero.
+    for (int i = 0; i < 100; ++i)
+        cbt.onActivate(0, 4096, 0, i);
+    EXPECT_EQ(cbt.regionRefreshes(), before);
+}
+
+TEST(Twice, RefreshesNeighborsAtThreshold)
+{
+    RecordingController rc;
+    MitigationSettings s = tinySettings(1024);
+    Twice tw(s);
+    tw.setController(&rc.ctrl);
+    EXPECT_EQ(tw.refreshThreshold(), 256u);     // effN/2 = 512/2
+    for (unsigned i = 0; i < tw.refreshThreshold(); ++i)
+        tw.onActivate(0, 100, 0, i);
+    EXPECT_EQ(tw.refreshesIssued(), 2u);        // rows 99 and 101
+    EXPECT_EQ(rc.ctrl.pendingVictimRefreshes(), 2u);
+}
+
+TEST(Twice, PruningDropsSlowRows)
+{
+    RecordingController rc;
+    MitigationSettings s = tinySettings(1024);
+    Twice tw(s);
+    tw.setController(&rc.ctrl);
+    // One activation, then many pruning intervals: entry must go.
+    tw.onActivate(0, 100, 0, 0);
+    EXPECT_EQ(tw.tableEntries(), 1u);
+    for (int i = 0; i < 50; ++i)
+        tw.onAutoRefresh(0, 8, i);
+    EXPECT_EQ(tw.tableEntries(), 0u);
+    EXPECT_GT(tw.pruned(), 0u);
+}
+
+TEST(Twice, FastRowSurvivesPruning)
+{
+    RecordingController rc;
+    MitigationSettings s = tinySettings(1024);
+    Twice tw(s);
+    tw.setController(&rc.ctrl);
+    // Activate at a pace well above the pruning threshold.
+    for (int interval = 0; interval < 10; ++interval) {
+        for (int i = 0; i < 20; ++i)
+            tw.onActivate(0, 100, 0, interval * 100 + i);
+        tw.onAutoRefresh(0, 8, interval);
+        if (tw.refreshesIssued() > 0)
+            break;  // reached the refresh threshold already
+        EXPECT_EQ(tw.tableEntries(), 1u) << "interval " << interval;
+    }
+}
+
+TEST(Twice, PeakOccupancyTracked)
+{
+    RecordingController rc;
+    Twice tw(tinySettings(32768));
+    tw.setController(&rc.ctrl);
+    for (int r = 0; r < 100; ++r)
+        tw.onActivate(0, static_cast<RowId>(r), 0, r);
+    EXPECT_GE(tw.peakTableEntries(), 100u);
+}
+
+TEST(Graphene, TableSizeFollowsMisraGries)
+{
+    MitigationSettings s = tinySettings(32768);
+    Graphene g(s);
+    // W = tREFW / tRC, T = effN/2 = 8K: N = ceil(W/T) + 1.
+    auto w = static_cast<double>(s.timings.tREFW) / s.timings.tRC;
+    EXPECT_NEAR(g.tableSize(), w / 8192.0 + 1.5, 2.0);
+    EXPECT_EQ(g.threshold(), 8192u);
+}
+
+TEST(Graphene, HotRowTriggersPeriodicRefreshes)
+{
+    RecordingController rc;
+    MitigationSettings s = tinySettings(1024);
+    Graphene g(s);
+    g.setController(&rc.ctrl);
+    // T = 256: 1024 activations => 4 trigger points x 2 neighbors.
+    for (int i = 0; i < 1024; ++i)
+        g.onActivate(0, 500, 0, i);
+    EXPECT_EQ(g.refreshesIssued(), 8u);
+}
+
+TEST(Graphene, MisraGriesNeverMissesFrequentRow)
+{
+    // Core Misra-Gries guarantee: any row activated more than T times in
+    // the window triggers at least one refresh, regardless of how much
+    // other traffic floods the table.
+    RecordingController rc;
+    MitigationSettings s = tinySettings(1024);
+    Graphene g(s);
+    g.setController(&rc.ctrl);
+    Rng rng(11);
+    unsigned hot_acts = 0;
+    for (int i = 0; i < 200000; ++i) {
+        if (i % 100 == 0) {
+            g.onActivate(0, 777, 0, i);     // hot row, 1% of traffic
+            ++hot_acts;
+        } else {
+            g.onActivate(0, static_cast<RowId>(rng.below(60000)), 0, i);
+        }
+    }
+    ASSERT_GT(hot_acts, g.threshold());
+    EXPECT_GT(g.refreshesIssued(), 0u);
+}
+
+TEST(Graphene, WindowResetClearsCounts)
+{
+    RecordingController rc;
+    MitigationSettings s = tinySettings(1024);
+    Graphene g(s);
+    g.setController(&rc.ctrl);
+    for (int i = 0; i < 200; ++i)
+        g.onActivate(0, 500, 0, i);
+    g.tick(s.timings.tREFW + 1);
+    auto before = g.refreshesIssued();
+    for (int i = 0; i < 200; ++i)
+        g.onActivate(0, 500, 0, i);
+    // 200 + 200 < 2T after reset: no new trigger from stale counts.
+    EXPECT_EQ(g.refreshesIssued(), before);
+}
+
+} // namespace
+} // namespace bh

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the workload layer: synthetic traces, the Table 8 catalog,
+ * attack generators, and mix composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/mixes.hh"
+
+namespace bh
+{
+namespace
+{
+
+TEST(Catalog, HasThirtyApps)
+{
+    EXPECT_EQ(appCatalog().size(), 30u);
+}
+
+TEST(Catalog, CategoryCountsMatchPaper)
+{
+    // Table 8: 12 L, 9 M, 9 H applications.
+    EXPECT_EQ(appsInCategory('L').size(), 12u);
+    EXPECT_EQ(appsInCategory('M').size(), 9u);
+    EXPECT_EQ(appsInCategory('H').size(), 9u);
+}
+
+TEST(Catalog, LookupByName)
+{
+    auto mcf = findApp("429.mcf");
+    ASSERT_TRUE(mcf.has_value());
+    EXPECT_EQ(mcf->category, 'H');
+    EXPECT_NEAR(mcf->paperRbcpki, 62.3, 0.01);
+    EXPECT_FALSE(findApp("no-such-app").has_value());
+}
+
+TEST(Catalog, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &app : appCatalog())
+        EXPECT_TRUE(names.insert(app.params.name).second)
+            << app.params.name;
+}
+
+TEST(Catalog, IoAppsBypassCache)
+{
+    for (const char *name : {"ycsb.A", "movnti.colmaj", "freescale1"}) {
+        auto app = findApp(name);
+        ASSERT_TRUE(app.has_value()) << name;
+        EXPECT_TRUE(app->params.bypassCache) << name;
+    }
+    EXPECT_FALSE(findApp("429.mcf")->params.bypassCache);
+}
+
+TEST(SynthTrace, DeterministicAndResettable)
+{
+    SynthParams p = findApp("450.soplex")->params;
+    SynthTrace a(p, 99, 0), b(p, 99, 0);
+    for (int i = 0; i < 100; ++i) {
+        TraceEntry ea, eb;
+        ASSERT_TRUE(a.next(ea));
+        ASSERT_TRUE(b.next(eb));
+        EXPECT_EQ(ea.addr, eb.addr);
+        EXPECT_EQ(ea.bubbles, eb.bubbles);
+    }
+    TraceEntry first;
+    a.reset();
+    ASSERT_TRUE(a.next(first));
+    SynthTrace c(p, 99, 0);
+    TraceEntry ec;
+    c.next(ec);
+    EXPECT_EQ(first.addr, ec.addr);
+}
+
+TEST(SynthTrace, AddressesStayInWorkingSetSlice)
+{
+    SynthParams p = findApp("444.namd")->params;
+    const Addr base = 1ull << 30;
+    SynthTrace t(p, 3, base);
+    for (int i = 0; i < 2000; ++i) {
+        TraceEntry e;
+        t.next(e);
+        EXPECT_GE(e.addr, base);
+        EXPECT_LT(e.addr, base + p.workingSetBytes + kLineBytes);
+    }
+}
+
+TEST(SynthTrace, MeanBubblesTrackSpacing)
+{
+    SynthParams p;
+    p.memSpacing = 50.0;
+    p.workingSetBytes = 1 << 20;
+    p.rowRunLines = 4;
+    SynthTrace t(p, 5, 0);
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        TraceEntry e;
+        t.next(e);
+        total += e.bubbles + 1;     // +1 for the memory op itself
+    }
+    EXPECT_NEAR(total / n, 50.0, 2.5);
+}
+
+TEST(SynthTrace, RowRunsAreSequential)
+{
+    SynthParams p;
+    p.memSpacing = 10;
+    p.workingSetBytes = 1 << 24;
+    p.rowRunLines = 8;
+    SynthTrace t(p, 7, 0);
+    TraceEntry prev;
+    t.next(prev);
+    int sequential = 0;
+    for (int i = 1; i < 800; ++i) {
+        TraceEntry e;
+        t.next(e);
+        if (e.addr == prev.addr + kLineBytes)
+            ++sequential;
+        prev = e;
+    }
+    // 7 of every 8 steps are sequential within a run.
+    EXPECT_NEAR(sequential / 800.0, 7.0 / 8.0, 0.05);
+}
+
+TEST(SynthTrace, WriteFractionRespected)
+{
+    SynthParams p;
+    p.memSpacing = 5;
+    p.writeFrac = 0.3;
+    p.workingSetBytes = 1 << 20;
+    SynthTrace t(p, 9, 0);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        TraceEntry e;
+        t.next(e);
+        writes += e.isWrite;
+    }
+    EXPECT_NEAR(writes / static_cast<double>(n), 0.3, 0.02);
+}
+
+class AttackTraceTest : public ::testing::Test
+{
+  protected:
+    AttackTraceTest()
+        : mapper(DramOrg::paperConfig(), MapScheme::kMop)
+    {
+    }
+
+    AddressMapper mapper;
+};
+
+TEST_F(AttackTraceTest, DoubleSidedAlternatesAggressors)
+{
+    AttackParams p;
+    p.kind = AttackParams::Kind::kDoubleSided;
+    p.numBanks = 4;
+    p.victimRow = 1000;
+    AttackTrace t(p, mapper);
+    ASSERT_EQ(t.aggressorRows().size(), 2u);
+    EXPECT_EQ(t.aggressorRows()[0], 999u);
+    EXPECT_EQ(t.aggressorRows()[1], 1001u);
+
+    // Per bank, the row sequence must strictly alternate 999/1001.
+    std::map<unsigned, std::vector<RowId>> per_bank;
+    for (int i = 0; i < 64; ++i) {
+        TraceEntry e;
+        t.next(e);
+        EXPECT_TRUE(e.bypassCache);
+        EXPECT_EQ(e.bubbles, 0u);
+        DramCoord c = mapper.decode(e.addr);
+        per_bank[c.flatBank(mapper.organization())].push_back(c.row);
+    }
+    EXPECT_EQ(per_bank.size(), 4u);
+    for (const auto &[bank, rows] : per_bank) {
+        for (std::size_t i = 1; i < rows.size(); ++i)
+            EXPECT_NE(rows[i], rows[i - 1]) << "bank " << bank;
+    }
+}
+
+TEST_F(AttackTraceTest, SingleSidedUsesOneRow)
+{
+    AttackParams p;
+    p.kind = AttackParams::Kind::kSingleSided;
+    p.numBanks = 2;
+    AttackTrace t(p, mapper);
+    EXPECT_EQ(t.aggressorRows().size(), 1u);
+    std::set<RowId> rows;
+    for (int i = 0; i < 16; ++i) {
+        TraceEntry e;
+        t.next(e);
+        rows.insert(mapper.decode(e.addr).row);
+    }
+    EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST_F(AttackTraceTest, ManySidedSurroundsVictim)
+{
+    AttackParams p;
+    p.kind = AttackParams::Kind::kManySided;
+    p.sides = 4;
+    p.victimRow = 2000;
+    p.numBanks = 1;
+    AttackTrace t(p, mapper);
+    std::set<RowId> rows(t.aggressorRows().begin(),
+                         t.aggressorRows().end());
+    EXPECT_EQ(rows.size(), 4u);
+    EXPECT_TRUE(rows.count(1999) && rows.count(2001));
+    EXPECT_TRUE(rows.count(1998) && rows.count(2002));
+}
+
+TEST_F(AttackTraceTest, TargetsRequestedBanks)
+{
+    AttackParams p;
+    p.numBanks = 3;
+    p.firstBank = 5;
+    AttackTrace t(p, mapper);
+    std::set<unsigned> banks;
+    for (int i = 0; i < 30; ++i) {
+        TraceEntry e;
+        t.next(e);
+        banks.insert(mapper.decode(e.addr).flatBank(mapper.organization()));
+    }
+    EXPECT_EQ(banks, (std::set<unsigned>{5, 6, 7}));
+}
+
+TEST(Mixes, BenignMixesHaveNoAttack)
+{
+    auto mixes = makeBenignMixes(10, 1);
+    EXPECT_EQ(mixes.size(), 10u);
+    for (const auto &mix : mixes) {
+        EXPECT_EQ(mix.apps.size(), 8u);
+        EXPECT_FALSE(mix.hasAttack());
+        for (const auto &app : mix.apps)
+            EXPECT_TRUE(findApp(app).has_value()) << app;
+    }
+}
+
+TEST(Mixes, AttackMixesHaveExactlyOneAttack)
+{
+    auto mixes = makeAttackMixes(10, 1);
+    for (const auto &mix : mixes) {
+        int attacks = 0;
+        for (const auto &app : mix.apps)
+            attacks += (app == kAttackAppName);
+        EXPECT_EQ(attacks, 1);
+        EXPECT_TRUE(mix.hasAttack());
+        EXPECT_EQ(mix.apps[mix.attackSlot()], kAttackAppName);
+    }
+}
+
+TEST(Mixes, SeededReproducibly)
+{
+    auto a = makeBenignMixes(5, 77);
+    auto b = makeBenignMixes(5, 77);
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(a[i].apps, b[i].apps);
+    auto c = makeBenignMixes(5, 78);
+    bool any_diff = false;
+    for (unsigned i = 0; i < 5; ++i)
+        any_diff |= (a[i].apps != c[i].apps);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Mixes, MakeTraceSlicesAddressSpace)
+{
+    AddressMapper mapper(DramOrg::paperConfig(), MapScheme::kMop);
+    auto t0 = makeTrace("429.mcf", 0, 8, mapper, 1);
+    auto t7 = makeTrace("429.mcf", 7, 8, mapper, 1);
+    Addr slice = DramOrg::paperConfig().totalBytes() / 8;
+    for (int i = 0; i < 200; ++i) {
+        TraceEntry e0, e7;
+        t0->next(e0);
+        t7->next(e7);
+        EXPECT_LT(e0.addr, slice);
+        EXPECT_GE(e7.addr, 7 * slice);
+    }
+}
+
+TEST(Mixes, MakeTraceBuildsAttack)
+{
+    AddressMapper mapper(DramOrg::paperConfig(), MapScheme::kMop);
+    auto t = makeTrace(kAttackAppName, 0, 8, mapper, 1);
+    TraceEntry e;
+    ASSERT_TRUE(t->next(e));
+    EXPECT_TRUE(e.bypassCache);
+}
+
+} // namespace
+} // namespace bh
