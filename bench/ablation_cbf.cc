@@ -7,26 +7,29 @@
  * 1K significantly increases the false positive rate due to aliasing").
  */
 
-#include "bench/bench_util.hh"
+#include "bench/experiments.hh"
 #include "blockhammer/blockhammer.hh"
 
-using namespace bh;
+namespace bh
+{
 
 namespace
 {
 
-/** Run one benign mix under a custom BlockHammer geometry. */
 struct AblationResult
 {
-    double fpRatePct;
-    double tdelayUs;
-    std::uint64_t delayed;
+    bool feasible = true;
+    double fpRatePct = 0.0;
+    double tdelayUs = 0.0;
+    std::uint64_t delayed = 0;
 };
 
+/** Run one benign mix under a custom BlockHammer geometry. */
 AblationResult
-runPoint(unsigned cbf_counters, std::uint32_t nbl_divisor)
+runPoint(const BenchContext &ctx, unsigned cbf_counters,
+         std::uint32_t nbl_divisor)
 {
-    ExperimentConfig cfg = benchConfig("BlockHammer", 1024);
+    ExperimentConfig cfg = benchConfig(ctx, "BlockHammer", 1024);
     auto mix = makeBenignMixes(1, 5)[0];
 
     // Build the system manually so we can override the CBF geometry.
@@ -42,6 +45,15 @@ runPoint(unsigned cbf_counters, std::uint32_t nbl_divisor)
     bh_cfg.nBL = std::max<std::uint32_t>(2, cfg.nRH / nbl_divisor);
     bh_cfg.cbf.counterMax = bh_cfg.nBL;
     bh_cfg.seed = 3;
+
+    // N_BL = N_RH/2 equals N_RH* under the double-sided blast model:
+    // Equation 1 has no positive tDelay there, so the geometry cannot be
+    // built (that is the sweep's data point).
+    if (!bh_cfg.feasible()) {
+        AblationResult r;
+        r.feasible = false;
+        return r;
+    }
 
     auto mech = std::make_unique<BlockHammer>(bh_cfg);
     BlockHammer *bh = mech.get();
@@ -63,35 +75,60 @@ runPoint(unsigned cbf_counters, std::uint32_t nbl_divisor)
 
 } // namespace
 
-int
-main()
+void
+benchAblationCbf(BenchContext &ctx)
 {
-    setVerbose(false);
-    benchHeader("Ablation: CBF size and N_BL selection (Section 3.1.3)",
-                "design-choice sweep behind Table 1's CBF=1K, N_BL=N_RH/4");
+    const std::vector<unsigned> sizes = {64u, 128u, 256u, 512u, 1024u,
+                                         4096u};
+    const std::vector<std::uint32_t> divisors = {2u, 4u, 8u, 16u};
+
+    // All sweep points are independent cells: the CBF-size sweep comes
+    // first, then the N_BL sweep.
+    std::vector<AblationResult> cells = ctx.runner->map<AblationResult>(
+        sizes.size() + divisors.size(), [&](std::size_t i) {
+            if (i < sizes.size())
+                return runPoint(ctx, sizes[i], 4);
+            return runPoint(ctx, 1024, divisors[i - sizes.size()]);
+        });
 
     std::printf("--- CBF size sweep (N_BL = N_RH/4) ---\n");
+    Json size_sweep = Json::object();
     TextTable t1({"CBF counters", "false-positive rate %", "delayed acts"});
-    for (unsigned size : {64u, 128u, 256u, 512u, 1024u, 4096u}) {
-        AblationResult r = runPoint(size, 4);
-        t1.addRow({strfmt("%u", size), TextTable::num(r.fpRatePct, 4),
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const AblationResult &r = cells[i];
+        Json row = Json::object();
+        row["fp_rate_pct"] = r.fpRatePct;
+        row["delayed_acts"] = r.delayed;
+        size_sweep[strfmt("%u", sizes[i])] = row;
+        t1.addRow({strfmt("%u", sizes[i]), TextTable::num(r.fpRatePct, 4),
                    strfmt("%llu",
                           static_cast<unsigned long long>(r.delayed))});
     }
     std::printf("%s\n", t1.render().c_str());
+    ctx.result["cbf_size_sweep"] = size_sweep;
 
     std::printf("--- N_BL sweep (CBF = 1K counters) ---\n");
+    Json nbl_sweep = Json::object();
     TextTable t2({"N_BL", "tDelay us (penalty)", "false-positive rate %"});
-    for (std::uint32_t divisor : {2u, 4u, 8u, 16u}) {
-        AblationResult r = runPoint(1024, divisor);
-        t2.addRow({strfmt("N_RH/%u", divisor),
-                   TextTable::num(r.tdelayUs, 2),
-                   TextTable::num(r.fpRatePct, 4)});
+    for (std::size_t i = 0; i < divisors.size(); ++i) {
+        const AblationResult &r = cells[sizes.size() + i];
+        Json row = Json::object();
+        row["feasible"] = r.feasible;
+        if (r.feasible) {
+            row["tdelay_us"] = r.tdelayUs;
+            row["fp_rate_pct"] = r.fpRatePct;
+        }
+        nbl_sweep[strfmt("nrh_div_%u", divisors[i])] = row;
+        t2.addRow({strfmt("N_RH/%u", divisors[i]),
+                   r.feasible ? TextTable::num(r.tdelayUs, 2) : "infeasible",
+                   r.feasible ? TextTable::num(r.fpRatePct, 4) : "-"});
     }
     std::printf("%s\n", t2.render().c_str());
+    ctx.result["nbl_sweep"] = nbl_sweep;
 
     std::printf("Expected: false positives fall sharply once the CBF has\n"
                 ">= 1K counters; smaller N_BL raises the blacklisting\n"
                 "sensitivity while lowering the tDelay penalty.\n\n");
-    return 0;
 }
+
+} // namespace bh

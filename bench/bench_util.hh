@@ -1,28 +1,37 @@
 /**
  * @file
- * Shared helpers for the reproduction benches.
+ * Shared helpers for the registered bh_bench experiments.
  *
- * Every bench prints one paper table/figure as an ASCII table. Runs are
- * time-compressed by default (see DESIGN.md): the BH_SCALE environment
- * variable (default 1) multiplies simulated cycles and workload counts
- * for higher-fidelity runs, e.g. `BH_SCALE=4 ./fig5_multiprog`.
+ * Every experiment reproduces one paper table/figure: it prints an ASCII
+ * table to stdout and fills BenchContext::result with the same numbers in
+ * machine-readable form (written as BENCH_<name>.json by the driver).
+ *
+ * Runs are time-compressed by default (see DESIGN.md): the context's
+ * scale factor (CLI --scale, default from the BH_SCALE environment
+ * variable) multiplies simulated cycles and workload counts for
+ * higher-fidelity runs, e.g. `bh_bench --scale 4 fig5`.
  */
 
 #ifndef BH_BENCH_BENCH_UTIL_HH
 #define BH_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/table.hh"
 #include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 namespace bh
 {
 
-/** BH_SCALE env var (>= 1): scales run length / workload counts. */
+/** Default scale: the BH_SCALE env var (>= 0.1), 1.0 when unset. */
 inline double
 benchScale()
 {
@@ -33,30 +42,51 @@ benchScale()
     return v >= 0.1 ? v : 1.0;
 }
 
-/** Standard compressed experiment configuration used by the benches. */
+/**
+ * Execution context handed to every registered experiment. Experiments
+ * parallelize their independent sweep cells through `runner` and must
+ * produce results that do not depend on the worker count (collect by
+ * cell index, seed by cell index — see Runner's determinism contract).
+ */
+struct BenchContext
+{
+    double scale = 1.0;         ///< fidelity multiplier (cycles, mix counts)
+    Runner *runner = nullptr;   ///< shared pool; set by the driver
+    Json result = Json::object();   ///< machine-readable experiment output
+
+    /** Scale a count, keeping at least `floor` so sweeps never go empty. */
+    unsigned
+    scaled(unsigned base, unsigned floor = 1) const
+    {
+        return std::max(floor, static_cast<unsigned>(base * scale));
+    }
+};
+
+/** Standard compressed experiment configuration used by the experiments. */
 inline ExperimentConfig
-benchConfig(const std::string &mechanism, std::uint32_t n_rh = 1024)
+benchConfig(const BenchContext &ctx, const std::string &mechanism,
+            std::uint32_t n_rh = 1024)
 {
     ExperimentConfig cfg;
     cfg.mechanism = mechanism;
     cfg.nRH = n_rh;
     cfg.refwMs = 0.5;
-    cfg.warmupCycles = static_cast<Cycle>(600'000 * benchScale());
-    cfg.runCycles = static_cast<Cycle>(1'600'000 * benchScale());
+    cfg.warmupCycles = static_cast<Cycle>(600'000 * ctx.scale);
+    cfg.runCycles = static_cast<Cycle>(1'600'000 * ctx.scale);
     cfg.threads = 8;
     cfg.attack.numBanks = 16;
     return cfg;
 }
 
-/** Print a bench header naming the paper artifact being reproduced. */
+/** Print an experiment header naming the paper artifact being reproduced. */
 inline void
-benchHeader(const std::string &title, const std::string &paper_ref)
+benchHeader(const std::string &title, const std::string &paper_ref,
+            double scale)
 {
     std::printf("==============================================================\n");
     std::printf("%s\n", title.c_str());
     std::printf("reproduces: %s\n", paper_ref.c_str());
-    std::printf("scale: BH_SCALE=%.2g (see DESIGN.md, time-compressed eval)\n",
-                benchScale());
+    std::printf("scale: %.2g (see DESIGN.md, time-compressed eval)\n", scale);
     std::printf("==============================================================\n");
 }
 
@@ -65,6 +95,35 @@ inline double
 ratio(double a, double b)
 {
     return b != 0.0 ? a / b : 0.0;
+}
+
+/** Arithmetic mean (0 when empty). */
+inline double
+mean(const std::vector<double> &v)
+{
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+/**
+ * Pre-compute the alone-run IPC of every benign app in `mixes` through
+ * the pool, so later parallel cells hit the aloneIpc memo table instead
+ * of redundantly simulating the same alone runs.
+ */
+inline void
+warmAloneIpc(const BenchContext &ctx, const ExperimentConfig &cfg,
+             const std::vector<MixSpec> &mixes)
+{
+    std::set<std::string> unique;
+    for (const auto &mix : mixes)
+        for (const auto &app : mix.apps)
+            if (app != kAttackAppName)
+                unique.insert(app);
+    std::vector<std::string> apps(unique.begin(), unique.end());
+    ctx.runner->forEach(apps.size(),
+                        [&](std::size_t i) { aloneIpc(cfg, apps[i]); });
 }
 
 } // namespace bh

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The registered bh_bench experiments, one per reproduced paper artifact.
+ * Implementations live in the per-artifact bench .cc files; registry.cc
+ * binds them to their CLI names (explicit registration keeps static-
+ * library linking reliable — no self-registering globals to drop).
+ */
+
+#ifndef BH_BENCH_EXPERIMENTS_HH
+#define BH_BENCH_EXPERIMENTS_HH
+
+#include "bench/bench_util.hh"
+
+namespace bh
+{
+
+void benchFig4(BenchContext &ctx);          ///< single-core time/energy
+void benchFig5(BenchContext &ctx);          ///< 8-core multiprogrammed
+void benchFig6(BenchContext &ctx);          ///< N_RH scaling sweep
+void benchTable1(BenchContext &ctx);        ///< BlockHammer parameters
+void benchTable4(BenchContext &ctx);        ///< hardware cost comparison
+void benchTable7(BenchContext &ctx);        ///< config scaling across N_RH
+void benchTable8(BenchContext &ctx);        ///< app characterization
+void benchSec321(BenchContext &ctx);        ///< RHLI observe vs full
+void benchSec5(BenchContext &ctx);          ///< security analysis
+void benchSec84(BenchContext &ctx);         ///< false positives / delays
+void benchAblationCbf(BenchContext &ctx);   ///< CBF size / N_BL sweep
+void benchMicro(BenchContext &ctx);         ///< component microbenchmarks
+
+} // namespace bh
+
+#endif // BH_BENCH_EXPERIMENTS_HH

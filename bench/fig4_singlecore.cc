@@ -10,67 +10,81 @@
 
 #include <map>
 
-#include "bench/bench_util.hh"
+#include "bench/experiments.hh"
 #include "workloads/catalog.hh"
 
-using namespace bh;
-
-int
-main()
+namespace bh
 {
-    setVerbose(false);
-    benchHeader("Figure 4: single-core normalized execution time / energy",
-                "Figure 4 (Section 8.1), 30 benign apps x 7 mechanisms");
 
-    // App coverage grows with BH_SCALE (2 per category by default).
-    unsigned apps_per_cat = std::min<unsigned>(
-        12, static_cast<unsigned>(2 * benchScale()));
+void
+benchFig4(BenchContext &ctx)
+{
+    // App coverage grows with scale (2 per category by default).
+    unsigned apps_per_cat = std::min<unsigned>(12, ctx.scaled(2));
 
-    ExperimentConfig base_cfg = benchConfig("Baseline");
+    ExperimentConfig base_cfg = benchConfig(ctx, "Baseline");
     base_cfg.threads = 1;
 
     std::vector<std::string> apps;
     for (char cat : {'L', 'M', 'H'}) {
         auto names = appsInCategory(cat);
-        for (unsigned i = 0; i < std::min<std::size_t>(apps_per_cat,
-                                                       names.size()); ++i)
-            apps.push_back(names[i * names.size() /
-                                 std::min<std::size_t>(apps_per_cat,
-                                                       names.size())]);
+        auto take = std::min<std::size_t>(apps_per_cat, names.size());
+        for (unsigned i = 0; i < take; ++i)
+            apps.push_back(names[i * names.size() / take]);
     }
 
-    // Per (category, mechanism): normalized exec time & energy samples.
+    // Sweep cells: per app, the baseline run then one run per mechanism.
+    const auto &mechs = paperMechanisms();
+    const std::size_t runs_per_app = 1 + mechs.size();
+    struct Cell
+    {
+        double ipc = 0.0;
+        double energyJ = 0.0;
+    };
+    std::vector<Cell> cells = ctx.runner->map<Cell>(
+        apps.size() * runs_per_app, [&](std::size_t i) {
+            ExperimentConfig cfg = base_cfg;
+            std::size_t run = i % runs_per_app;
+            if (run > 0)
+                cfg.mechanism = mechs[run - 1];
+            MixSpec mix;
+            mix.name = apps[i / runs_per_app];
+            mix.apps = {mix.name};
+            RunResult res = runExperiment(cfg, mix);
+            return Cell{res.ipc[0], res.energyJ};
+        });
+
+    // Per (mechanism, category): normalized exec time & energy samples.
     std::map<std::string, std::map<char, std::vector<double>>> time_norm;
     std::map<std::string, std::map<char, std::vector<double>>> energy_norm;
-
-    for (const auto &app : apps) {
-        char cat = findApp(app)->category;
-        MixSpec mix;
-        mix.name = app;
-        mix.apps = {app};
-
-        ExperimentConfig cfg = base_cfg;
-        RunResult base = runExperiment(cfg, mix);
-        for (const auto &mech : paperMechanisms()) {
-            cfg.mechanism = mech;
-            RunResult res = runExperiment(cfg, mix);
+    Json per_app = Json::object();
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        char cat = findApp(apps[a])->category;
+        const Cell &base = cells[a * runs_per_app];
+        Json app_json = Json::object();
+        for (std::size_t m = 0; m < mechs.size(); ++m) {
+            const Cell &res = cells[a * runs_per_app + 1 + m];
             // Normalized execution time = baseline IPC / mechanism IPC.
-            time_norm[mech][cat].push_back(ratio(base.ipc[0], res.ipc[0]));
-            energy_norm[mech][cat].push_back(
-                ratio(res.energyJ, base.energyJ));
+            double t = ratio(base.ipc, res.ipc);
+            double e = ratio(res.energyJ, base.energyJ);
+            time_norm[mechs[m]][cat].push_back(t);
+            energy_norm[mechs[m]][cat].push_back(e);
+            Json mech_json = Json::object();
+            mech_json["time_norm"] = t;
+            mech_json["energy_norm"] = e;
+            app_json[mechs[m]] = mech_json;
         }
+        per_app[apps[a]] = app_json;
     }
 
-    auto mean = [](const std::vector<double> &v) {
-        double s = 0;
-        for (double x : v)
-            s += x;
-        return v.empty() ? 0.0 : s / static_cast<double>(v.size());
-    };
-
     std::printf("--- normalized execution time (1.00 = baseline) ---\n");
+    Json time_json = Json::object();
     TextTable tt({"mechanism", "L", "M", "H"});
-    for (const auto &mech : paperMechanisms()) {
+    for (const auto &mech : mechs) {
+        Json row = Json::object();
+        for (char cat : {'L', 'M', 'H'})
+            row[std::string(1, cat)] = mean(time_norm[mech][cat]);
+        time_json[mech] = row;
         tt.addRow({mech,
                    TextTable::num(mean(time_norm[mech]['L']), 3),
                    TextTable::num(mean(time_norm[mech]['M']), 3),
@@ -79,8 +93,13 @@ main()
     std::printf("%s\n", tt.render().c_str());
 
     std::printf("--- normalized DRAM energy (1.00 = baseline) ---\n");
+    Json energy_json = Json::object();
     TextTable te({"mechanism", "L", "M", "H"});
-    for (const auto &mech : paperMechanisms()) {
+    for (const auto &mech : mechs) {
+        Json row = Json::object();
+        for (char cat : {'L', 'M', 'H'})
+            row[std::string(1, cat)] = mean(energy_norm[mech][cat]);
+        energy_json[mech] = row;
         te.addRow({mech,
                    TextTable::num(mean(energy_norm[mech]['L']), 3),
                    TextTable::num(mean(energy_norm[mech]['M']), 3),
@@ -89,5 +108,10 @@ main()
     std::printf("%s\n", te.render().c_str());
     std::printf("Paper shape: BlockHammer ~1.000 everywhere; PARA/MRLoc "
                 "up to ~1.008 time and ~1.05 energy on H apps.\n\n");
-    return 0;
+
+    ctx.result["time_norm"] = time_json;
+    ctx.result["energy_norm"] = energy_json;
+    ctx.result["per_app"] = per_app;
 }
+
+} // namespace bh

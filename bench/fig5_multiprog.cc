@@ -13,35 +13,60 @@
 
 #include <map>
 
-#include "bench/bench_util.hh"
+#include "bench/experiments.hh"
 
-using namespace bh;
+namespace bh
+{
 
 namespace
 {
+
+struct Fig5Cell
+{
+    MultiProgMetrics metrics;
+    double energyJ = 0.0;
+};
 
 struct Agg
 {
     std::vector<double> ws, hs, ms, energy;
 };
 
-void
-runScenario(const char *title, const std::vector<MixSpec> &mixes)
+Json
+runScenario(const BenchContext &ctx, const char *title,
+            const std::vector<MixSpec> &mixes)
 {
     std::printf("--- %s (%zu mixes) ---\n", title, mixes.size());
-    std::map<std::string, Agg> agg;
-    for (const auto &mix : mixes) {
-        ExperimentConfig cfg = benchConfig("Baseline");
-        RunResult base = runExperiment(cfg, mix);
-        MultiProgMetrics base_m = metricsAgainstAlone(cfg, mix, base);
-        for (const auto &mech : paperMechanisms()) {
-            cfg.mechanism = mech;
+
+    ExperimentConfig base_cfg = benchConfig(ctx, "Baseline");
+    warmAloneIpc(ctx, base_cfg, mixes);
+
+    // Sweep cells: per mix, the baseline run then one run per mechanism.
+    const auto &mechs = paperMechanisms();
+    const std::size_t runs_per_mix = 1 + mechs.size();
+    std::vector<Fig5Cell> cells = ctx.runner->map<Fig5Cell>(
+        mixes.size() * runs_per_mix, [&](std::size_t i) {
+            const MixSpec &mix = mixes[i / runs_per_mix];
+            ExperimentConfig cfg = base_cfg;
+            std::size_t run = i % runs_per_mix;
+            if (run > 0)
+                cfg.mechanism = mechs[run - 1];
             RunResult res = runExperiment(cfg, mix);
-            MultiProgMetrics m = metricsAgainstAlone(cfg, mix, res);
-            Agg &a = agg[mech];
-            a.ws.push_back(ratio(m.weightedSpeedup, base_m.weightedSpeedup));
-            a.hs.push_back(ratio(m.harmonicSpeedup, base_m.harmonicSpeedup));
-            a.ms.push_back(ratio(m.maxSlowdown, base_m.maxSlowdown));
+            return Fig5Cell{metricsAgainstAlone(cfg, mix, res), res.energyJ};
+        });
+
+    std::map<std::string, Agg> agg;
+    for (std::size_t x = 0; x < mixes.size(); ++x) {
+        const Fig5Cell &base = cells[x * runs_per_mix];
+        for (std::size_t m = 0; m < mechs.size(); ++m) {
+            const Fig5Cell &res = cells[x * runs_per_mix + 1 + m];
+            Agg &a = agg[mechs[m]];
+            a.ws.push_back(ratio(res.metrics.weightedSpeedup,
+                                 base.metrics.weightedSpeedup));
+            a.hs.push_back(ratio(res.metrics.harmonicSpeedup,
+                                 base.metrics.harmonicSpeedup));
+            a.ms.push_back(ratio(res.metrics.maxSlowdown,
+                                 base.metrics.maxSlowdown));
             a.energy.push_back(ratio(res.energyJ, base.energyJ));
         }
     }
@@ -54,11 +79,20 @@ runScenario(const char *title, const std::vector<MixSpec> &mixes)
         }
         return std::pair<double, double>{lo, hi};
     };
+    Json out = Json::object();
     TextTable t({"mechanism", "norm WS", "WS min..max", "norm HS",
                  "norm MaxSlow", "norm Energy"});
-    for (const auto &mech : paperMechanisms()) {
+    for (const auto &mech : mechs) {
         const Agg &a = agg[mech];
         auto [lo, hi] = minMax(a.ws);
+        Json row = Json::object();
+        row["weighted_speedup"] = geomean(a.ws);
+        row["ws_min"] = lo;
+        row["ws_max"] = hi;
+        row["harmonic_speedup"] = geomean(a.hs);
+        row["max_slowdown"] = geomean(a.ms);
+        row["energy"] = geomean(a.energy);
+        out[mech] = row;
         t.addRow({mech,
                   TextTable::num(geomean(a.ws), 3),
                   strfmt("%.2f..%.2f", lo, hi),
@@ -67,24 +101,23 @@ runScenario(const char *title, const std::vector<MixSpec> &mixes)
                   TextTable::num(geomean(a.energy), 3)});
     }
     std::printf("%s\n", t.render().c_str());
+    return out;
 }
 
 } // namespace
 
-int
-main()
+void
+benchFig5(BenchContext &ctx)
 {
-    setVerbose(false);
-    benchHeader("Figure 5: multiprogrammed performance and energy",
-                "Figure 5 (Section 8.2), 8-core mixes, normalized to "
-                "baseline");
-
-    auto n_mixes = static_cast<unsigned>(3 * benchScale());
-    runScenario("No RowHammer attack", makeBenignMixes(n_mixes, 42));
-    runScenario("RowHammer attack present", makeAttackMixes(n_mixes, 42));
+    unsigned n_mixes = ctx.scaled(3);
+    ctx.result["no_attack"] =
+        runScenario(ctx, "No RowHammer attack", makeBenignMixes(n_mixes, 42));
+    ctx.result["attack"] = runScenario(ctx, "RowHammer attack present",
+                                       makeAttackMixes(n_mixes, 42));
 
     std::printf("Paper shape: no-attack ~1.00 for all mechanisms; under\n"
                 "attack only BlockHammer raises WS/HS well above 1.0 and\n"
                 "cuts energy below 1.0.\n\n");
-    return 0;
 }
+
+} // namespace bh

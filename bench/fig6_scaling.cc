@@ -12,9 +12,10 @@
 
 #include <map>
 
-#include "bench/bench_util.hh"
+#include "bench/experiments.hh"
 
-using namespace bh;
+namespace bh
+{
 
 namespace
 {
@@ -22,65 +23,95 @@ namespace
 const std::vector<std::string> kMechs = {"PARA", "TWiCe", "Graphene",
                                          "BlockHammer"};
 
-void
-runScenario(const char *title, const std::vector<MixSpec> &mixes,
+struct Fig6Cell
+{
+    MultiProgMetrics metrics;
+    double energyJ = 0.0;
+};
+
+Json
+runScenario(const BenchContext &ctx, const char *title,
+            const std::vector<MixSpec> &mixes,
             const std::vector<std::uint32_t> &thresholds)
 {
     std::printf("--- %s ---\n", title);
+
+    warmAloneIpc(ctx, benchConfig(ctx, "Baseline", thresholds[0]), mixes);
+
+    // Sweep cells: (threshold x mix) x (baseline + the four mechanisms).
+    const std::size_t runs_per_mix = 1 + kMechs.size();
+    const std::size_t cells_per_nrh = mixes.size() * runs_per_mix;
+    std::vector<Fig6Cell> cells = ctx.runner->map<Fig6Cell>(
+        thresholds.size() * cells_per_nrh, [&](std::size_t i) {
+            std::uint32_t nrh = thresholds[i / cells_per_nrh];
+            const MixSpec &mix = mixes[(i % cells_per_nrh) / runs_per_mix];
+            ExperimentConfig cfg = benchConfig(ctx, "Baseline", nrh);
+            std::size_t run = i % runs_per_mix;
+            if (run > 0)
+                cfg.mechanism = kMechs[run - 1];
+            RunResult res = runExperiment(cfg, mix);
+            return Fig6Cell{metricsAgainstAlone(cfg, mix, res), res.energyJ};
+        });
+
+    Json out = Json::object();
     TextTable t({"N_RH", "mechanism", "norm WS", "norm HS", "norm MaxSlow",
                  "norm Energy"});
-    for (std::uint32_t nrh : thresholds) {
+    for (std::size_t n = 0; n < thresholds.size(); ++n) {
         std::map<std::string, std::vector<double>> ws, hs, ms, en;
-        for (const auto &mix : mixes) {
-            ExperimentConfig cfg = benchConfig("Baseline", nrh);
-            RunResult base = runExperiment(cfg, mix);
-            MultiProgMetrics base_m = metricsAgainstAlone(cfg, mix, base);
-            for (const auto &mech : kMechs) {
-                cfg.mechanism = mech;
-                RunResult res = runExperiment(cfg, mix);
-                MultiProgMetrics m = metricsAgainstAlone(cfg, mix, res);
-                ws[mech].push_back(ratio(m.weightedSpeedup,
-                                         base_m.weightedSpeedup));
-                hs[mech].push_back(ratio(m.harmonicSpeedup,
-                                         base_m.harmonicSpeedup));
-                ms[mech].push_back(ratio(m.maxSlowdown, base_m.maxSlowdown));
-                en[mech].push_back(ratio(res.energyJ, base.energyJ));
+        for (std::size_t x = 0; x < mixes.size(); ++x) {
+            const Fig6Cell *row = &cells[n * cells_per_nrh
+                                         + x * runs_per_mix];
+            const Fig6Cell &base = row[0];
+            for (std::size_t m = 0; m < kMechs.size(); ++m) {
+                const Fig6Cell &res = row[1 + m];
+                ws[kMechs[m]].push_back(ratio(res.metrics.weightedSpeedup,
+                                              base.metrics.weightedSpeedup));
+                hs[kMechs[m]].push_back(ratio(res.metrics.harmonicSpeedup,
+                                              base.metrics.harmonicSpeedup));
+                ms[kMechs[m]].push_back(ratio(res.metrics.maxSlowdown,
+                                              base.metrics.maxSlowdown));
+                en[kMechs[m]].push_back(ratio(res.energyJ, base.energyJ));
             }
         }
+        Json nrh_json = Json::object();
         for (const auto &mech : kMechs) {
-            t.addRow({strfmt("%u", nrh), mech,
+            Json row = Json::object();
+            row["weighted_speedup"] = geomean(ws[mech]);
+            row["harmonic_speedup"] = geomean(hs[mech]);
+            row["max_slowdown"] = geomean(ms[mech]);
+            row["energy"] = geomean(en[mech]);
+            nrh_json[mech] = row;
+            t.addRow({strfmt("%u", thresholds[n]), mech,
                       TextTable::num(geomean(ws[mech]), 3),
                       TextTable::num(geomean(hs[mech]), 3),
                       TextTable::num(geomean(ms[mech]), 3),
                       TextTable::num(geomean(en[mech]), 3)});
         }
+        out[strfmt("%u", thresholds[n])] = nrh_json;
     }
     std::printf("%s\n", t.render().c_str());
+    return out;
 }
 
 } // namespace
 
-int
-main()
+void
+benchFig6(BenchContext &ctx)
 {
-    setVerbose(false);
-    benchHeader("Figure 6: scaling with worsening RowHammer vulnerability",
-                "Figure 6 (Section 8.3); compressed thresholds mirror the "
-                "paper's 32K..1K sweep");
-
     // The compressed window (0.5 ms vs 64 ms) compresses thresholds by the
     // same factor: 4K..256 here plays the role of 32K..2K in the paper.
     std::vector<std::uint32_t> thresholds = {4096, 2048, 1024, 512, 256};
-    auto n_mixes = std::max<unsigned>(1,
-        static_cast<unsigned>(1 * benchScale()));
+    unsigned n_mixes = ctx.scaled(1);
 
-    runScenario("No RowHammer attack", makeBenignMixes(n_mixes, 7),
-                thresholds);
-    runScenario("RowHammer attack present", makeAttackMixes(n_mixes, 7),
-                thresholds);
+    ctx.result["no_attack"] = runScenario(
+        ctx, "No RowHammer attack", makeBenignMixes(n_mixes, 7), thresholds);
+    ctx.result["attack"] = runScenario(ctx, "RowHammer attack present",
+                                       makeAttackMixes(n_mixes, 7),
+                                       thresholds);
 
     std::printf("Paper shape: PARA degrades as N_RH shrinks (no attack);\n"
                 "BlockHammer's advantage under attack grows as N_RH "
                 "shrinks.\n\n");
-    return 0;
 }
+
+} // namespace bh

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * bh_bench: the registry-driven experiment driver. Runs any subset of
+ * the reproduced paper artifacts, fanning each experiment's independent
+ * sweep cells across a shared thread pool, and writes one machine-
+ * readable BENCH_<name>.json per experiment next to the ASCII tables.
+ *
+ * Determinism: for fixed --scale, the JSON output is byte-identical at
+ * any --jobs value (micro's wall-clock timings go to stdout only).
+ */
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "bench/registry.hh"
+
+namespace
+{
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(out,
+        "usage: bh_bench [options] [experiment...]\n"
+        "\n"
+        "Runs the named experiments (default: all) and writes one\n"
+        "BENCH_<name>.json per experiment.\n"
+        "\n"
+        "options:\n"
+        "  --list        list registered experiments and exit\n"
+        "  --jobs N      worker threads for sweep cells (default: all cores)\n"
+        "  --scale X     fidelity multiplier >= 0.1 (default: BH_SCALE or 1)\n"
+        "  --fast        shorthand for --scale 0.1 (CI smoke runs)\n"
+        "  --out DIR     directory for the JSON outputs (default: .)\n"
+        "  --help        this message\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bh;
+
+    setVerbose(false);
+    double scale = benchScale();
+    unsigned jobs = 0;      // 0 = hardware concurrency
+    std::string out_dir = ".";
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("option %s needs a value", arg);
+            return argv[++i];
+        };
+        if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+            usage(stdout);
+            return 0;
+        } else if (!std::strcmp(arg, "--list")) {
+            for (const auto &info : benchRegistry())
+                std::printf("%-14s %s\n", info.name, info.title);
+            return 0;
+        } else if (!std::strcmp(arg, "--jobs") || !std::strcmp(arg, "-j")) {
+            int n = std::atoi(value());
+            if (n < 0 || n > 4096)
+                fatal("--jobs must be in [0, 4096] (0 = all cores)");
+            jobs = static_cast<unsigned>(n);
+        } else if (!std::strcmp(arg, "--scale")) {
+            scale = std::atof(value());
+            if (scale < 0.1)
+                fatal("--scale must be >= 0.1");
+        } else if (!std::strcmp(arg, "--fast")) {
+            scale = 0.1;
+        } else if (!std::strcmp(arg, "--out")) {
+            out_dir = value();
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n", arg);
+            usage(stderr);
+            return 1;
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    std::vector<const BenchInfo *> selected;
+    if (names.empty()) {
+        for (const auto &info : benchRegistry())
+            selected.push_back(&info);
+    } else {
+        for (const auto &name : names) {
+            const BenchInfo *info = findBench(name);
+            if (!info) {
+                std::fprintf(stderr, "unknown experiment: %s "
+                             "(see bh_bench --list)\n", name.c_str());
+                return 1;
+            }
+            selected.push_back(info);
+        }
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec)
+        fatal("cannot create output directory %s", out_dir.c_str());
+
+    Runner runner(jobs);
+    std::printf("bh_bench: %zu experiment(s), %u worker(s), scale %.2g\n\n",
+                selected.size(), runner.jobs(), scale);
+
+    double total_s = 0.0;
+    for (const BenchInfo *info : selected) {
+        BenchContext ctx;
+        ctx.scale = scale;
+        ctx.runner = &runner;
+
+        auto t0 = std::chrono::steady_clock::now();
+        runBench(*info, ctx);
+        auto t1 = std::chrono::steady_clock::now();
+        double secs = std::chrono::duration<double>(t1 - t0).count();
+        total_s += secs;
+
+        std::string path = out_dir + "/BENCH_" + info->name + ".json";
+        std::ofstream f(path);
+        if (!f)
+            fatal("cannot write %s", path.c_str());
+        f << ctx.result.dump(2) << "\n";
+        std::printf("[%s: %.2f s -> %s]\n\n", info->name, secs,
+                    path.c_str());
+    }
+    std::printf("bh_bench: done, %.2f s total\n", total_s);
+    return 0;
+}

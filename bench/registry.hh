@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Experiment registry for the bh_bench driver: maps each reproduced
+ * paper artifact (fig4, table1, ...) to its title, paper reference, and
+ * entry point. Experiments share one Runner pool; the driver executes
+ * experiments sequentially and each experiment fans its independent
+ * sweep cells out across the pool (cells must not re-enter the pool).
+ */
+
+#ifndef BH_BENCH_REGISTRY_HH
+#define BH_BENCH_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+namespace bh
+{
+
+/** One registered experiment. */
+struct BenchInfo
+{
+    const char *name;       ///< CLI name, e.g. "fig4"
+    const char *title;      ///< human-readable headline
+    const char *paperRef;   ///< which paper artifact it reproduces
+    void (*fn)(BenchContext &ctx);
+};
+
+/** All registered experiments, in canonical (paper) order. */
+const std::vector<BenchInfo> &benchRegistry();
+
+/** Lookup by CLI name; nullptr when unknown. */
+const BenchInfo *findBench(const std::string &name);
+
+/**
+ * Run one experiment: prints its header, executes it, and stamps the
+ * result JSON with the experiment name and scale. The caller provides
+ * the context (scale + runner) and owns the filled result.
+ */
+void runBench(const BenchInfo &info, BenchContext &ctx);
+
+} // namespace bh
+
+#endif // BH_BENCH_REGISTRY_HH

@@ -9,10 +9,13 @@
  * in full-functional mode.
  */
 
-#include "bench/bench_util.hh"
+#include <tuple>
+
+#include "bench/experiments.hh"
 #include "blockhammer/blockhammer.hh"
 
-using namespace bh;
+namespace bh
+{
 
 namespace
 {
@@ -24,75 +27,96 @@ struct RhliStats
 };
 
 RhliStats
-measure(const std::string &mode, const std::vector<MixSpec> &mixes)
+measure(const BenchContext &ctx, const std::string &mode,
+        const std::vector<MixSpec> &mixes)
 {
+    struct Cell
+    {
+        std::vector<double> attack;
+        std::vector<double> benign;
+    };
+    std::vector<Cell> cells = ctx.runner->map<Cell>(
+        mixes.size(), [&](std::size_t i) {
+            const MixSpec &mix = mixes[i];
+            ExperimentConfig cfg = benchConfig(ctx, mode);
+            auto system = buildSystem(cfg, mix);
+            system->run(cfg.warmupCycles + cfg.runCycles);
+            auto *bh =
+                dynamic_cast<BlockHammer *>(&system->mem().mitigation());
+            if (bh == nullptr)
+                fatal("mechanism is not BlockHammer");
+            Cell c;
+            for (unsigned t = 0; t < cfg.threads; ++t) {
+                double rhli = bh->maxRhli(static_cast<ThreadId>(t));
+                if (static_cast<int>(t) == mix.attackSlot())
+                    c.attack.push_back(rhli);
+                else
+                    c.benign.push_back(rhli);
+            }
+            return c;
+        });
+
     RhliStats out;
-    for (const auto &mix : mixes) {
-        ExperimentConfig cfg = benchConfig(mode);
-        auto system = buildSystem(cfg, mix);
-        system->run(cfg.warmupCycles + cfg.runCycles);
-        auto *bh = dynamic_cast<BlockHammer *>(&system->mem().mitigation());
-        if (bh == nullptr)
-            fatal("mechanism is not BlockHammer");
-        for (unsigned t = 0; t < cfg.threads; ++t) {
-            double rhli = bh->maxRhli(static_cast<ThreadId>(t));
-            if (static_cast<int>(t) == mix.attackSlot())
-                out.attack.push_back(rhli);
-            else
-                out.benignMax.push_back(rhli);
-        }
+    for (const Cell &c : cells) {
+        out.attack.insert(out.attack.end(), c.attack.begin(),
+                          c.attack.end());
+        out.benignMax.insert(out.benignMax.end(), c.benign.begin(),
+                             c.benign.end());
     }
     return out;
 }
 
-void
+std::tuple<double, double, double>
+stats(const std::vector<double> &v)
+{
+    double lo = v.empty() ? 0 : v[0], hi = lo, sum = 0;
+    for (double x : v) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+        sum += x;
+    }
+    return {v.empty() ? 0 : sum / static_cast<double>(v.size()), lo, hi};
+}
+
+Json
 report(const char *mode, const RhliStats &s)
 {
-    auto stats = [](const std::vector<double> &v) {
-        double lo = v.empty() ? 0 : v[0], hi = lo, sum = 0;
-        for (double x : v) {
-            lo = std::min(lo, x);
-            hi = std::max(hi, x);
-            sum += x;
-        }
-        return std::tuple<double, double, double>{
-            v.empty() ? 0 : sum / static_cast<double>(v.size()), lo, hi};
-    };
     auto [am, alo, ahi] = stats(s.attack);
     auto [bm, blo, bhi] = stats(s.benignMax);
+    (void)blo;
     std::printf("  %-16s attack RHLI avg %.2f (min %.2f, max %.2f) | "
                 "benign RHLI avg %.4f (max %.4f)\n",
                 mode, am, alo, ahi, bm, bhi);
+    Json out = Json::object();
+    out["attack_avg"] = am;
+    out["attack_min"] = alo;
+    out["attack_max"] = ahi;
+    out["benign_avg"] = bm;
+    out["benign_max"] = bhi;
+    return out;
 }
 
 } // namespace
 
-int
-main()
+void
+benchSec321(BenchContext &ctx)
 {
-    setVerbose(false);
-    benchHeader("Section 3.2.1: RowHammer likelihood index (RHLI)",
-                "observe-only vs full-functional; benign ~0, attack >> 1 "
-                "observed, attack < 1 when throttled");
-
-    auto n_mixes = static_cast<unsigned>(3 * benchScale());
+    unsigned n_mixes = ctx.scaled(3);
     auto mixes = makeAttackMixes(n_mixes, 99);
 
-    RhliStats observe = measure("BlockHammer-Observe", mixes);
-    RhliStats full = measure("BlockHammer", mixes);
-    report("observe-only", observe);
-    report("full-functional", full);
+    RhliStats observe = measure(ctx, "BlockHammer-Observe", mixes);
+    RhliStats full = measure(ctx, "BlockHammer", mixes);
+    ctx.result["observe_only"] = report("observe-only", observe);
+    ctx.result["full_functional"] = report("full-functional", full);
 
-    double obs_avg = 0, full_avg = 0;
-    for (double v : observe.attack)
-        obs_avg += v;
-    for (double v : full.attack)
-        full_avg += v;
-    obs_avg /= std::max<std::size_t>(1, observe.attack.size());
-    full_avg /= std::max<std::size_t>(1, full.attack.size());
+    double obs_avg = mean(observe.attack);
+    double full_avg = mean(full.attack);
+    double reduction = ratio(obs_avg, full_avg);
     std::printf("\n  attack RHLI reduction (observe -> full): %.1fx "
-                "(paper: 54x)\n", ratio(obs_avg, full_avg));
+                "(paper: 54x)\n", reduction);
     std::printf("  paper observe-only attack RHLI: avg 10.9 "
                 "(6.9..15.5); benign: 0\n\n");
-    return 0;
+    ctx.result["rhli_reduction"] = reduction;
 }
+
+} // namespace bh

@@ -5,18 +5,15 @@
  * double-sided attacks. Purely analytical (Equations 1 and 3).
  */
 
-#include "bench/bench_util.hh"
+#include "bench/experiments.hh"
 #include "blockhammer/config.hh"
 
-using namespace bh;
-
-int
-main()
+namespace bh
 {
-    setVerbose(false);
-    benchHeader("Table 1: BlockHammer parameter values",
-                "Table 1 (Section 4), N_RH=32K, DDR4, double-sided model");
 
+void
+benchTable1(BenchContext &ctx)
+{
     auto timings = DramTimings::ddr4();
     auto cfg = BlockHammerConfig::forThreshold(32768, timings);
 
@@ -47,7 +44,25 @@ main()
                 "c_k=0.5^(k-1):\n");
     BlockHammerConfig worst = cfg;
     worst.blast = BlastModel::worstCase();
+    double worst_ratio = static_cast<double>(worst.nRHStar()) / worst.nRH;
     std::printf("  N_RH* = %.4f x N_RH (paper: 0.2539 x N_RH)\n\n",
-                static_cast<double>(worst.nRHStar()) / worst.nRH);
-    return 0;
+                worst_ratio);
+
+    Json params = Json::object();
+    params["N_RH"] = cfg.nRH;
+    params["N_RH_star"] = cfg.nRHStar();
+    params["tREFW_ms"] = cyclesToNs(cfg.tREFW) / 1e6;
+    params["tRC_ns"] = cyclesToNs(cfg.tRC);
+    params["tFAW_ns"] = cyclesToNs(cfg.tFAW);
+    params["banks"] = cfg.banks;
+    params["N_BL"] = cfg.nBL;
+    params["tCBF_ms"] = cyclesToNs(cfg.tCBF) / 1e6;
+    params["tDelay_us"] = cyclesToNs(cfg.tDelay()) / 1e3;
+    params["cbf_counters"] = cfg.cbf.numCounters;
+    params["cbf_hashes"] = cfg.cbf.numHashes;
+    params["history_entries"] = cfg.historyEntries();
+    ctx.result["params"] = params;
+    ctx.result["worst_case_nrh_star_ratio"] = worst_ratio;
 }
+
+} // namespace bh

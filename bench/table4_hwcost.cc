@@ -6,18 +6,20 @@
  * for CACTI/Synopsys DC; see DESIGN.md).
  */
 
-#include "bench/bench_util.hh"
+#include "bench/experiments.hh"
 #include "analysis/hwcost.hh"
 
-using namespace bh;
+namespace bh
+{
 
 namespace
 {
 
-void
+Json
 printForThreshold(const HwCostModel &model, std::uint32_t n_rh)
 {
     std::printf("--- N_RH = %uK ---\n", n_rh / 1024);
+    Json out = Json::object();
     TextTable t({"mechanism", "SRAM KiB", "CAM KiB", "area mm^2",
                  "% CPU", "access pJ", "static mW"});
     const char *mechs[] = {"BlockHammer", "PARA", "PRoHIT", "MRLoc",
@@ -26,8 +28,17 @@ printForThreshold(const HwCostModel &model, std::uint32_t n_rh)
         auto cost = model.costFor(m, n_rh, DramTimings::ddr4());
         if (!cost) {
             t.addRow({m, "x", "x", "x", "x", "x", "x"});
+            out[m] = Json();    // null: no published scaling rule
             continue;
         }
+        Json row = Json::object();
+        row["sram_kib"] = cost->sramKiB;
+        row["cam_kib"] = cost->camKiB;
+        row["area_mm2"] = cost->areaMm2;
+        row["cpu_area_pct"] = cost->cpuAreaPct;
+        row["access_pj"] = cost->accessEnergyPj;
+        row["static_mw"] = cost->staticPowerMw;
+        out[m] = row;
         t.addRow({m,
                   TextTable::num(cost->sramKiB, 2),
                   TextTable::num(cost->camKiB, 2),
@@ -37,26 +48,29 @@ printForThreshold(const HwCostModel &model, std::uint32_t n_rh)
                   TextTable::num(cost->staticPowerMw, 2)});
     }
     std::printf("%s\n", t.render().c_str());
+    return out;
 }
 
 } // namespace
 
-int
-main()
+void
+benchTable4(BenchContext &ctx)
 {
-    setVerbose(false);
-    benchHeader("Table 4: hardware cost comparison",
-                "Table 4 (Section 6.1); 'x' = mechanism has no published "
-                "scaling rule for that threshold");
-
     HwCostModel model;
-    printForThreshold(model, 32768);
-    printForThreshold(model, 1024);
+    ctx.result["nrh_32k"] = printForThreshold(model, 32768);
+    ctx.result["nrh_1k"] = printForThreshold(model, 1024);
 
     std::printf("BlockHammer component breakdown (per rank):\n");
     TextTable t({"component", "N_RH=32K SRAM KiB", "N_RH=32K CAM KiB",
                  "N_RH=1K SRAM KiB", "N_RH=1K CAM KiB"});
+    Json breakdown = Json::object();
     auto row = [&](const char *name, Storage a, Storage b) {
+        Json c = Json::object();
+        c["nrh_32k_sram_kib"] = a.sramBits / 8192.0;
+        c["nrh_32k_cam_kib"] = a.camBits / 8192.0;
+        c["nrh_1k_sram_kib"] = b.sramBits / 8192.0;
+        c["nrh_1k_cam_kib"] = b.camBits / 8192.0;
+        breakdown[name] = c;
         t.addRow({name,
                   TextTable::num(a.sramBits / 8192.0, 2),
                   TextTable::num(a.camBits / 8192.0, 2),
@@ -72,8 +86,10 @@ main()
     row("AttackThrottler counters", model.blockHammerThrottler(32768),
         model.blockHammerThrottler(1024));
     std::printf("%s\n", t.render().c_str());
+    ctx.result["blockhammer_breakdown"] = breakdown;
 
     std::printf("Paper shape check: at N_RH=1K, TWiCe and CBT area grow to\n"
                 "multiples of BlockHammer's; Graphene becomes comparable.\n\n");
-    return 0;
 }
+
+} // namespace bh

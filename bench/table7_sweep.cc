@@ -4,23 +4,28 @@
  * for every evaluated RowHammer threshold. Analytical.
  */
 
-#include "bench/bench_util.hh"
+#include "bench/experiments.hh"
 #include "blockhammer/config.hh"
 
-using namespace bh;
-
-int
-main()
+namespace bh
 {
-    setVerbose(false);
-    benchHeader("Table 7: configuration scaling across N_RH",
-                "Table 7 (appendix); N_BL = N_RH/4, CBF grows as N_BL "
-                "shrinks, tCBF = tREFW = 64 ms");
 
+void
+benchTable7(BenchContext &ctx)
+{
+    Json rows = Json::object();
     TextTable t({"N_RH", "N_RH*", "CBF size", "N_BL", "tCBF ms",
                  "tDelay us", "HB entries"});
     for (std::uint32_t nrh : {32768u, 16384u, 8192u, 4096u, 2048u, 1024u}) {
         auto cfg = BlockHammerConfig::forThreshold(nrh, DramTimings::ddr4());
+        Json row = Json::object();
+        row["N_RH_star"] = cfg.nRHStar();
+        row["cbf_counters"] = cfg.cbf.numCounters;
+        row["N_BL"] = cfg.nBL;
+        row["tCBF_ms"] = cyclesToNs(cfg.tCBF) / 1e6;
+        row["tDelay_us"] = cyclesToNs(cfg.tDelay()) / 1e3;
+        row["history_entries"] = cfg.historyEntries();
+        rows[strfmt("%u", nrh)] = row;
         t.addRow({strfmt("%uK", nrh / 1024),
                   strfmt("%u", cfg.nRHStar()),
                   strfmt("%u", cfg.cbf.numCounters),
@@ -32,5 +37,7 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("Paper row (N_RH=32K): CBF 1K, N_BL 8K, tCBF 64 ms.\n"
                 "Paper row (N_RH=1K): CBF 8K, N_BL 256, tCBF 64 ms.\n\n");
-    return 0;
+    ctx.result["thresholds"] = rows;
 }
+
+} // namespace bh

@@ -7,66 +7,90 @@
  * the original SPEC/YCSB/NXP traces.
  */
 
-#include "bench/bench_util.hh"
+#include "bench/experiments.hh"
 #include "workloads/catalog.hh"
 
-using namespace bh;
-
-int
-main()
+namespace bh
 {
-    setVerbose(false);
-    benchHeader("Table 8: benign application characterization",
-                "Table 8 (appendix): MPKI / RBCPKI per app, L/M/H classes");
 
-    ExperimentConfig cfg = benchConfig("Baseline");
+void
+benchTable8(BenchContext &ctx)
+{
+    ExperimentConfig cfg = benchConfig(ctx, "Baseline");
     cfg.threads = 1;
     cfg.hammerObserver = false;
 
+    const auto &catalog = appCatalog();
+    struct Cell
+    {
+        double mpki = 0.0;
+        double rbcpki = 0.0;
+    };
+    // One cell per app: run it alone and characterize it.
+    std::vector<Cell> cells = ctx.runner->map<Cell>(
+        catalog.size(), [&](std::size_t i) {
+            const auto &app = catalog[i];
+            MixSpec mix;
+            mix.name = app.params.name;
+            mix.apps = {app.params.name};
+            auto system = buildSystem(cfg, mix);
+            system->run(cfg.warmupCycles);
+            system->startMeasurement();
+
+            // Snapshot thread-level counters at measurement start.
+            auto llc0 = system->llc()->threadStats(0);
+            auto mem0 = system->mem().controller().threadStats(0);
+            std::uint64_t retired0 = system->core(0).retired();
+            system->run(cfg.runCycles);
+            auto llc1 = system->llc()->threadStats(0);
+            auto mem1 = system->mem().controller().threadStats(0);
+
+            double kilo_instr =
+                static_cast<double>(system->core(0).retired() - retired0) /
+                1000.0;
+            Cell c;
+            // Apps that bypass the cache have no LLC-miss-based MPKI
+            // (Table 8 lists '-').
+            c.mpki = app.params.bypassCache
+                ? -1.0
+                : ratio(static_cast<double>(llc1.misses - llc0.misses),
+                        kilo_instr);
+            c.rbcpki = ratio(
+                static_cast<double>(mem1.rowConflicts - mem0.rowConflicts),
+                kilo_instr);
+            return c;
+        });
+
     TextTable t({"app", "class", "paper MPKI", "MPKI", "paper RBCPKI",
                  "RBCPKI", "class OK?"});
+    Json apps = Json::object();
     unsigned correct = 0, total = 0;
-    for (const auto &app : appCatalog()) {
-        MixSpec mix;
-        mix.name = app.params.name;
-        mix.apps = {app.params.name};
-        auto system = buildSystem(cfg, mix);
-        system->run(cfg.warmupCycles);
-        system->startMeasurement();
-
-        // Snapshot thread-level counters at measurement start.
-        auto llc0 = system->llc()->threadStats(0);
-        auto mem0 = system->mem().controller().threadStats(0);
-        std::uint64_t retired0 = system->core(0).retired();
-        system->run(cfg.runCycles);
-        auto llc1 = system->llc()->threadStats(0);
-        auto mem1 = system->mem().controller().threadStats(0);
-
-        double kilo_instr =
-            static_cast<double>(system->core(0).retired() - retired0) /
-            1000.0;
-        // Apps that bypass the cache have no LLC-miss-based MPKI
-        // (Table 8 lists '-').
-        double mpki = app.params.bypassCache
-            ? -1.0
-            : ratio(static_cast<double>(llc1.misses - llc0.misses),
-                    kilo_instr);
-        double rbcpki = ratio(
-            static_cast<double>(mem1.rowConflicts - mem0.rowConflicts),
-            kilo_instr);
-
-        char measured_class = rbcpki < 1.0 ? 'L' : (rbcpki < 5.0 ? 'M' : 'H');
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const auto &app = catalog[i];
+        const Cell &c = cells[i];
+        char measured_class =
+            c.rbcpki < 1.0 ? 'L' : (c.rbcpki < 5.0 ? 'M' : 'H');
         bool ok = measured_class == app.category;
         correct += ok;
         ++total;
+        Json row = Json::object();
+        row["category"] = std::string(1, app.category);
+        row["mpki"] = c.mpki;
+        row["rbcpki"] = c.rbcpki;
+        row["category_ok"] = ok;
+        apps[app.params.name] = row;
         t.addRow({app.params.name, std::string(1, app.category),
                   app.paperMpki < 0 ? "-" : TextTable::num(app.paperMpki, 1),
-                  mpki < 0 ? "-" : TextTable::num(mpki, 1),
+                  c.mpki < 0 ? "-" : TextTable::num(c.mpki, 1),
                   TextTable::num(app.paperRbcpki, 1),
-                  TextTable::num(rbcpki, 1),
+                  TextTable::num(c.rbcpki, 1),
                   ok ? "yes" : "NO"});
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("category agreement: %u / %u apps\n\n", correct, total);
-    return 0;
+    ctx.result["apps"] = apps;
+    ctx.result["category_agreement"] = correct;
+    ctx.result["total_apps"] = total;
 }
+
+} // namespace bh

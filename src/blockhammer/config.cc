@@ -23,16 +23,39 @@ BlockHammerConfig::nRHStar() const
         std::floor(static_cast<double>(nRH) / (2.0 * sum)));
 }
 
+namespace
+{
+
+/**
+ * The two terms of Equation 1, shared by feasible() and tDelay():
+ * tDelay = budget / allowed with
+ * budget = tCBF - N_BL * tRC, allowed = (tCBF/tREFW) * N_RH* - N_BL.
+ */
+void
+eq1Terms(const BlockHammerConfig &cfg, double &budget, double &allowed)
+{
+    budget = static_cast<double>(cfg.tCBF) -
+        static_cast<double>(cfg.nBL) * static_cast<double>(cfg.tRC);
+    allowed = (static_cast<double>(cfg.tCBF) /
+               static_cast<double>(cfg.tREFW)) *
+        static_cast<double>(cfg.nRHStar()) - static_cast<double>(cfg.nBL);
+}
+
+} // namespace
+
+bool
+BlockHammerConfig::feasible() const
+{
+    double budget, allowed;
+    eq1Terms(*this, budget, allowed);
+    return allowed > 0.0 && budget > 0.0;
+}
+
 Cycle
 BlockHammerConfig::tDelay() const
 {
-    // Equation 1:
-    // tDelay = (tCBF - N_BL * tRC) / ((tCBF/tREFW) * N_RH* - N_BL).
-    double budget = static_cast<double>(tCBF) -
-        static_cast<double>(nBL) * static_cast<double>(tRC);
-    double allowed = (static_cast<double>(tCBF) /
-                      static_cast<double>(tREFW)) *
-        static_cast<double>(nRHStar()) - static_cast<double>(nBL);
+    double budget, allowed;
+    eq1Terms(*this, budget, allowed);
     if (allowed <= 0.0)
         fatal("BlockHammer config invalid: N_BL >= window activation budget");
     if (budget <= 0.0)

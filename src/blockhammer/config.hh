@@ -52,6 +52,14 @@ struct BlockHammerConfig
     /** Equation 3: derated threshold N_RH* under the blast model. */
     std::uint32_t nRHStar() const;
 
+    /**
+     * Whether Equation 1 admits a finite positive tDelay: N_BL must stay
+     * below the window activation budget. Infeasible geometries (e.g.
+     * N_BL = N_RH* with tCBF = tREFW) make tDelay() fatal; sweeps probe
+     * this first and report the point as infeasible instead.
+     */
+    bool feasible() const;
+
     /** Equation 1: delay enforced on blacklisted rows (cycles). */
     Cycle tDelay() const;
 

@@ -1,0 +1,189 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        panic("Json::operator[] on non-object");
+    for (auto &kv : members)
+        if (kv.first == key)
+            return kv.second;
+    members.emplace_back(key, Json());
+    return members.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &kv : members)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+Json &
+Json::push(Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ != Type::Array)
+        panic("Json::push on non-array");
+    arr.push_back(std::move(value));
+    return *this;
+}
+
+const Json &
+Json::at(std::size_t index) const
+{
+    if (type_ != Type::Array || index >= arr.size())
+        panic("Json::at out of range");
+    return arr[index];
+}
+
+std::size_t
+Json::size() const
+{
+    return type_ == Type::Array ? arr.size() : members.size();
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (type_ == Type::Double)
+        return static_cast<std::int64_t>(dblVal);
+    return intVal;
+}
+
+double
+Json::asDouble() const
+{
+    if (type_ == Type::Int)
+        return static_cast<double>(intVal);
+    return dblVal;
+}
+
+std::string
+Json::formatDouble(double v)
+{
+    if (std::isnan(v))
+        return "null";
+    if (std::isinf(v))
+        return v > 0 ? "1e999" : "-1e999";
+    char buf[40];
+    // Shortest representation that parses back to the same bits.
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+namespace
+{
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (type_) {
+        case Type::Null:
+            out += "null";
+            break;
+        case Type::Bool:
+            out += boolVal ? "true" : "false";
+            break;
+        case Type::Int:
+            out += std::to_string(intVal);
+            break;
+        case Type::Double:
+            out += formatDouble(dblVal);
+            break;
+        case Type::String:
+            escapeString(out, strVal);
+            break;
+        case Type::Array:
+            out += '[';
+            for (std::size_t i = 0; i < arr.size(); ++i) {
+                if (i)
+                    out += ',';
+                newlineIndent(out, indent, depth + 1);
+                arr[i].dumpTo(out, indent, depth + 1);
+            }
+            if (!arr.empty())
+                newlineIndent(out, indent, depth);
+            out += ']';
+            break;
+        case Type::Object:
+            out += '{';
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                if (i)
+                    out += ',';
+                newlineIndent(out, indent, depth + 1);
+                escapeString(out, members[i].first);
+                out += indent > 0 ? ": " : ":";
+                members[i].second.dumpTo(out, indent, depth + 1);
+            }
+            if (!members.empty())
+                newlineIndent(out, indent, depth);
+            out += '}';
+            break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+} // namespace bh

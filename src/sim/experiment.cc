@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "common/log.hh"
@@ -126,11 +127,18 @@ double
 aloneIpc(const ExperimentConfig &config, const std::string &app)
 {
     using Key = std::tuple<std::string, Cycle, Cycle, std::uint64_t, double>;
+    // Guarded for the parallel runner: concurrent cells may race to fill
+    // the same key; both compute the same deterministic value, so the
+    // lock only protects the map structure, not the result.
+    static std::mutex cacheMutex;
     static std::map<Key, double> cache;
     Key key{app, config.runCycles, config.warmupCycles, config.seed,
             config.refwMs};
-    if (auto it = cache.find(key); it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        if (auto it = cache.find(key); it != cache.end())
+            return it->second;
+    }
 
     ExperimentConfig alone = config;
     alone.mechanism = "Baseline";
@@ -141,6 +149,7 @@ aloneIpc(const ExperimentConfig &config, const std::string &app)
     mix.name = "alone-" + app;
     mix.apps = {app};
     RunResult res = runExperiment(alone, mix);
+    std::lock_guard<std::mutex> lock(cacheMutex);
     cache[key] = res.ipc[0];
     return res.ipc[0];
 }

@@ -1,0 +1,117 @@
+#include "sim/runner.hh"
+
+namespace bh
+{
+
+Runner::Runner(unsigned jobs)
+{
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    numJobs = jobs;
+    // jobs == 1 runs cells inline in forEach: exact same code path a
+    // debugger or profiler wants, and the reference for determinism tests.
+    if (numJobs > 1) {
+        workers.reserve(numJobs);
+        for (unsigned i = 0; i < numJobs; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+}
+
+Runner::~Runner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+Runner::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this] { return stopping || !tasks.empty(); });
+            if (tasks.empty())
+                return;     // stopping and drained
+            task = std::move(tasks.front());
+            tasks.pop();
+        }
+        task();
+    }
+}
+
+void
+Runner::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (numJobs == 1) {
+        // Same exception contract as the pooled path: every cell runs,
+        // the first error is rethrown at the end.
+        std::exception_ptr first_error;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return;
+    }
+
+    struct Batch
+    {
+        std::mutex m;
+        std::condition_variable done;
+        std::size_t remaining;
+        std::exception_ptr firstError;
+    } batch;
+    batch.remaining = n;
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (std::size_t i = 0; i < n; ++i) {
+            tasks.push([&batch, &fn, i] {
+                std::exception_ptr err;
+                try {
+                    fn(i);
+                } catch (...) {
+                    err = std::current_exception();
+                }
+                std::lock_guard<std::mutex> l(batch.m);
+                if (err && !batch.firstError)
+                    batch.firstError = err;
+                if (--batch.remaining == 0)
+                    batch.done.notify_all();
+            });
+        }
+    }
+    cv.notify_all();
+
+    std::unique_lock<std::mutex> lock(batch.m);
+    batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+    if (batch.firstError)
+        std::rethrow_exception(batch.firstError);
+}
+
+std::uint64_t
+Runner::cellSeed(std::uint64_t base, std::uint64_t cell)
+{
+    std::uint64_t z = base + (cell + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace bh

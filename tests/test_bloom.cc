@@ -279,8 +279,9 @@ TEST(DualCbf, ReseedingChangesAliases)
             d.insert(1000 + trial);
         collisions_after += (d.activeCount(cold) >= 50);
     }
-    if (collisions_before > 0)
+    if (collisions_before > 0) {
         EXPECT_LT(collisions_after, collisions_before);
+    }
 }
 
 } // namespace

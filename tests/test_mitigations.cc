@@ -9,6 +9,7 @@
 #include <cmath>
 #include <map>
 
+#include "common/log.hh"
 #include "mem/controller.hh"
 #include "mitigations/cbt.hh"
 #include "mitigations/graphene.hh"
@@ -16,6 +17,7 @@
 #include "mitigations/para.hh"
 #include "mitigations/prohit.hh"
 #include "mitigations/twice.hh"
+#include "sim/experiment.hh"
 
 namespace bh
 {
@@ -314,6 +316,42 @@ TEST(Graphene, WindowResetClearsCounts)
         g.onActivate(0, 500, 0, i);
     // 200 + 200 < 2T after reset: no new trigger from stale counts.
     EXPECT_EQ(g.refreshesIssued(), before);
+}
+
+/**
+ * End-to-end MRLoc run under an active RowHammer attack (folded in from
+ * the examples/_dbg_mrloc.cc debug scratch): the full system must keep
+ * the victim-refresh pipeline draining and the hammer observer clean.
+ */
+TEST(MrLoc, FullSystemAttackRunDrainsVictimRefreshes)
+{
+    setVerbose(false);
+    ExperimentConfig cfg;
+    cfg.mechanism = "MRLoc";
+    cfg.threads = 4;
+    cfg.nRH = 512;
+    cfg.refwMs = 0.25;
+    cfg.warmupCycles = 100000;
+    cfg.runCycles = 700000;
+    cfg.attack.numBanks = 4;
+
+    MixSpec mix;
+    mix.name = "am";
+    mix.apps = {kAttackAppName, "444.namd", "435.gromacs", "456.hmmer"};
+    auto sys = buildSystem(cfg, mix);
+    sys->run(cfg.warmupCycles + cfg.runCycles);
+
+    auto *observer = sys->mem().hammerObserver();
+    ASSERT_NE(observer, nullptr);
+    // The attack thread must actually hammer...
+    EXPECT_GT(observer->activationCount(), 1000u);
+    EXPECT_GT(observer->maxRowActivations(), cfg.nRH / 2);
+    // ...and MRLoc must respond with victim refreshes that keep the
+    // pending queue bounded (the erase path drains what it schedules).
+    EXPECT_GT(sys->mem().controller().victimRefreshesDone(), 0u);
+    EXPECT_LT(sys->mem().controller().pendingVictimRefreshes(), 100u);
+    // No bit flip may slip through at this threshold.
+    EXPECT_EQ(observer->bitFlips().size(), 0u);
 }
 
 } // namespace
