@@ -16,16 +16,8 @@ namespace bh
 namespace
 {
 
-struct AblationResult
-{
-    bool feasible = true;
-    double fpRatePct = 0.0;
-    double tdelayUs = 0.0;
-    std::uint64_t delayed = 0;
-};
-
 /** Run one benign mix under a custom BlockHammer geometry. */
-AblationResult
+Json
 runPoint(const BenchContext &ctx, unsigned cbf_counters,
          std::uint32_t nbl_divisor)
 {
@@ -49,10 +41,10 @@ runPoint(const BenchContext &ctx, unsigned cbf_counters,
     // N_BL = N_RH/2 equals N_RH* under the double-sided blast model:
     // Equation 1 has no positive tDelay there, so the geometry cannot be
     // built (that is the sweep's data point).
+    Json cell = Json::object();
     if (!bh_cfg.feasible()) {
-        AblationResult r;
-        r.feasible = false;
-        return r;
+        cell["feasible"] = false;
+        return cell;
     }
 
     auto mech = std::make_unique<BlockHammer>(bh_cfg);
@@ -64,13 +56,13 @@ runPoint(const BenchContext &ctx, unsigned cbf_counters,
     }
     system.run(cfg.warmupCycles + cfg.runCycles);
 
-    AblationResult r;
-    r.fpRatePct = 100.0 * ratio(
+    cell["feasible"] = true;
+    cell["fp_rate_pct"] = 100.0 * ratio(
         static_cast<double>(bh->falsePositiveActivations()),
         static_cast<double>(bh->totalActivations()));
-    r.tdelayUs = cyclesToNs(bh_cfg.tDelay()) / 1000.0;
-    r.delayed = bh->delayedActivations();
-    return r;
+    cell["tdelay_us"] = cyclesToNs(bh_cfg.tDelay()) / 1000.0;
+    cell["delayed"] = bh->delayedActivations();
+    return cell;
 }
 
 } // namespace
@@ -84,25 +76,29 @@ benchAblationCbf(BenchContext &ctx)
 
     // All sweep points are independent cells: the CBF-size sweep comes
     // first, then the N_BL sweep.
-    std::vector<AblationResult> cells = ctx.runner->map<AblationResult>(
-        sizes.size() + divisors.size(), [&](std::size_t i) {
+    std::vector<Json> cells = ctx.runCells(
+        "sweep", sizes.size() + divisors.size(), [&](std::size_t i) {
             if (i < sizes.size())
                 return runPoint(ctx, sizes[i], 4);
             return runPoint(ctx, 1024, divisors[i - sizes.size()]);
         });
+    if (!ctx.aggregate())
+        return;
 
     std::printf("--- CBF size sweep (N_BL = N_RH/4) ---\n");
     Json size_sweep = Json::object();
     TextTable t1({"CBF counters", "false-positive rate %", "delayed acts"});
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-        const AblationResult &r = cells[i];
+        const Json &r = cells[i];
+        double fp_rate = cellNum(r, "fp_rate_pct");
+        auto delayed = static_cast<std::uint64_t>(cellInt(r, "delayed"));
         Json row = Json::object();
-        row["fp_rate_pct"] = r.fpRatePct;
-        row["delayed_acts"] = r.delayed;
+        row["fp_rate_pct"] = fp_rate;
+        row["delayed_acts"] = delayed;
         size_sweep[strfmt("%u", sizes[i])] = row;
-        t1.addRow({strfmt("%u", sizes[i]), TextTable::num(r.fpRatePct, 4),
+        t1.addRow({strfmt("%u", sizes[i]), TextTable::num(fp_rate, 4),
                    strfmt("%llu",
-                          static_cast<unsigned long long>(r.delayed))});
+                          static_cast<unsigned long long>(delayed))});
     }
     std::printf("%s\n", t1.render().c_str());
     ctx.result["cbf_size_sweep"] = size_sweep;
@@ -111,17 +107,21 @@ benchAblationCbf(BenchContext &ctx)
     Json nbl_sweep = Json::object();
     TextTable t2({"N_BL", "tDelay us (penalty)", "false-positive rate %"});
     for (std::size_t i = 0; i < divisors.size(); ++i) {
-        const AblationResult &r = cells[sizes.size() + i];
+        const Json &r = cells[sizes.size() + i];
+        bool feasible = r.find("feasible") &&
+            r.find("feasible")->asBool();
         Json row = Json::object();
-        row["feasible"] = r.feasible;
-        if (r.feasible) {
-            row["tdelay_us"] = r.tdelayUs;
-            row["fp_rate_pct"] = r.fpRatePct;
+        row["feasible"] = feasible;
+        if (feasible) {
+            row["tdelay_us"] = cellNum(r, "tdelay_us");
+            row["fp_rate_pct"] = cellNum(r, "fp_rate_pct");
         }
         nbl_sweep[strfmt("nrh_div_%u", divisors[i])] = row;
         t2.addRow({strfmt("N_RH/%u", divisors[i]),
-                   r.feasible ? TextTable::num(r.tdelayUs, 2) : "infeasible",
-                   r.feasible ? TextTable::num(r.fpRatePct, 4) : "-"});
+                   feasible ? TextTable::num(cellNum(r, "tdelay_us"), 2)
+                            : "infeasible",
+                   feasible ? TextTable::num(cellNum(r, "fp_rate_pct"), 4)
+                            : "-"});
     }
     std::printf("%s\n", t2.render().c_str());
     ctx.result["nbl_sweep"] = nbl_sweep;

@@ -10,6 +10,14 @@
  * scale factor (CLI --scale, default from the BH_SCALE environment
  * variable) multiplies simulated cycles and workload counts for
  * higher-fidelity runs, e.g. `bh_bench --scale 4 fig5`.
+ *
+ * Sweep cells go through BenchContext::runCells, which assigns every
+ * cell a global index in the experiment's deterministic cell space.
+ * That one entry point supports distribution: `bh_bench --shard i/n`
+ * runs only the cells a shard owns (writing a partial report of raw
+ * cell payloads), `bh_collect merge` replays an experiment's
+ * aggregation over payloads collected from N shards, and `--list`
+ * enumerates the cell space without simulating anything.
  */
 
 #ifndef BH_BENCH_BENCH_UTIL_HH
@@ -18,6 +26,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -42,23 +51,102 @@ benchScale()
     return v >= 0.1 ? v : 1.0;
 }
 
+/** Deterministic 1-of-n partition of the global cell index space. */
+struct ShardSpec
+{
+    unsigned index = 0;
+    unsigned count = 1;
+};
+
+/** True when shard `spec` owns global cell `cell` (round-robin). */
+inline bool
+shardOwns(const ShardSpec &spec, std::uint64_t cell)
+{
+    return cell % spec.count == spec.index;
+}
+
 /**
  * Execution context handed to every registered experiment. Experiments
  * parallelize their independent sweep cells through `runner` and must
  * produce results that do not depend on the worker count (collect by
  * cell index, seed by cell index — see Runner's determinism contract).
+ *
+ * Experiment contract for sharding (see runCells): declare every sweep
+ * cell through runCells — cell payloads must be deterministic JSON
+ * (wall-clock readings go to stdout only) and carry everything the
+ * aggregation step reads — then gate all aggregation (ASCII tables and
+ * ctx.result fields) behind `if (!ctx.aggregate()) return;`. Analytic
+ * experiments with no simulation cells just place the gate at the top.
  */
 struct BenchContext
 {
+    /** How runCells treats the declared cells. */
+    enum class CellMode
+    {
+        Run,        ///< execute the cells this shard owns
+        Enumerate,  ///< count cells only, execute nothing (--list)
+        Replay      ///< take payloads from `replayCells` (bh_collect)
+    };
+
     double scale = 1.0;         ///< fidelity multiplier (cycles, mix counts)
     Runner *runner = nullptr;   ///< shared pool; set by the driver
     Json result = Json::object();   ///< machine-readable experiment output
+
+    CellMode mode = CellMode::Run;
+    ShardSpec shard;                ///< partition for CellMode::Run
+    const Json *replayCells = nullptr;  ///< payload source for Replay
+
+    Json cells = Json::object();    ///< recorded payloads by global index
+    std::uint64_t nextCell = 0;     ///< next unassigned global cell index
+    std::uint64_t cellsRun = 0;     ///< payloads recorded in this run
+
+    /** One runCells block, for the run manifest. */
+    struct CellPhase
+    {
+        std::string label;
+        std::uint64_t firstCell = 0;
+        std::uint64_t count = 0;
+    };
+    std::vector<CellPhase> phases;
 
     /** Scale a count, keeping at least `floor` so sweeps never go empty. */
     unsigned
     scaled(unsigned base, unsigned floor = 1) const
     {
         return std::max(floor, static_cast<unsigned>(base * scale));
+    }
+
+    /**
+     * Run one block of `n` sweep cells through the pool and return their
+     * payloads indexed 0..n-1 (block-local). The block claims global
+     * cell indices [nextCell, nextCell + n). Unowned cells (sharded
+     * runs) and unexecuted cells (Enumerate) come back as JSON null;
+     * Replay returns every payload from the merged shard files without
+     * simulating. Payloads must be non-null deterministic JSON.
+     */
+    std::vector<Json> runCells(const std::string &label, std::size_t n,
+                               const std::function<Json(std::size_t)> &fn);
+
+    /**
+     * False when aggregation must be skipped: this is a sharded partial
+     * run of a cell experiment (payloads for other shards are missing)
+     * or a cell enumeration. Experiments return immediately when false.
+     */
+    bool
+    aggregate() const
+    {
+        if (mode == CellMode::Enumerate)
+            return false;
+        if (mode == CellMode::Replay)
+            return true;
+        return shard.count == 1 || nextCell == 0;
+    }
+
+    /** True when this run executes the full cell grid itself. */
+    bool
+    executingAllCells() const
+    {
+        return mode == CellMode::Run && shard.count == 1;
     }
 };
 
@@ -97,6 +185,22 @@ ratio(double a, double b)
     return b != 0.0 ? a / b : 0.0;
 }
 
+/** Numeric field of a cell payload (0 when absent). */
+inline double
+cellNum(const Json &cell, const char *key)
+{
+    const Json *v = cell.find(key);
+    return v ? v->asDouble() : 0.0;
+}
+
+/** Integer field of a cell payload (0 when absent). */
+inline std::int64_t
+cellInt(const Json &cell, const char *key)
+{
+    const Json *v = cell.find(key);
+    return v ? v->asInt() : 0;
+}
+
 /** Arithmetic mean (0 when empty). */
 inline double
 mean(const std::vector<double> &v)
@@ -110,12 +214,17 @@ mean(const std::vector<double> &v)
 /**
  * Pre-compute the alone-run IPC of every benign app in `mixes` through
  * the pool, so later parallel cells hit the aloneIpc memo table instead
- * of redundantly simulating the same alone runs.
+ * of redundantly simulating the same alone runs. Skipped unless this
+ * run executes the full grid: sharded runs only need the apps of their
+ * owned cells (filled on demand through the memo), and Enumerate/Replay
+ * never simulate.
  */
 inline void
 warmAloneIpc(const BenchContext &ctx, const ExperimentConfig &cfg,
              const std::vector<MixSpec> &mixes)
 {
+    if (!ctx.executingAllCells())
+        return;
     std::set<std::string> unique;
     for (const auto &mix : mixes)
         for (const auto &app : mix.apps)

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * bh_collect: the result-aggregation CLI for sharded bh_bench runs.
+ *
+ *   bh_collect merge [-o FILE] SHARD.json...   recombine shard outputs
+ *   bh_collect diff  [tolerances] A.json B.json  structural golden diff
+ *
+ * `merge` validates every input's run manifest (grid fingerprint, shard
+ * ownership, per-cell digests), checks that overlapping cells are
+ * byte-identical across shards/machines, and — once the cell grid is
+ * fully covered — replays the experiment's aggregation over the merged
+ * payloads through the bench registry. The reconstructed report is
+ * byte-identical to what an unsharded `bh_bench` run writes.
+ *
+ * `diff` compares two reports structurally with per-field numeric
+ * tolerance; CI uses it to gate merged outputs against checked-in
+ * golden JSON.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "bench/registry.hh"
+#include "report/report.hh"
+
+namespace
+{
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(out,
+        "usage: bh_collect merge [options] BENCH_*.json...\n"
+        "       bh_collect diff [options] A.json B.json\n"
+        "\n"
+        "merge: validate and combine N sharded bh_bench outputs of one\n"
+        "experiment into a report byte-identical to an unsharded run.\n"
+        "Overlapping cells must match byte-for-byte; edited cells fail\n"
+        "their manifest digest; missing cells abort the merge.\n"
+        "\n"
+        "  -o, --out FILE   output path (default: BENCH_<experiment>.json)\n"
+        "\n"
+        "diff: structural comparison with numeric tolerance; exits 0 when\n"
+        "the documents agree, 1 when they differ, 2 on usage/IO errors.\n"
+        "\n"
+        "  --abs-tol X      absolute tolerance for numeric fields\n"
+        "  --rel-tol X      relative tolerance for numeric fields\n"
+        "  --ignore PATH    skip a dotted subtree (repeatable), e.g.\n"
+        "                   --ignore manifest.cell_digests\n");
+}
+
+int
+cmdMerge(const std::vector<std::string> &args)
+{
+    using namespace bh;
+
+    std::string out_path;
+    std::vector<std::string> files;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "-o" || arg == "--out") {
+            if (++i >= args.size()) {
+                std::fprintf(stderr, "bh_collect: %s needs a value\n",
+                             arg.c_str());
+                return 2;
+            }
+            out_path = args[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "bh_collect merge: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "bh_collect merge: no input files\n");
+        return 2;
+    }
+
+    std::vector<LoadedReport> inputs;
+    std::string err;
+    for (const std::string &file : files) {
+        LoadedReport report;
+        if (!loadReportFile(file, report, err)) {
+            std::fprintf(stderr, "bh_collect: %s\n", err.c_str());
+            return 2;
+        }
+        inputs.push_back(std::move(report));
+    }
+
+    MergeResult merge;
+    if (!mergeReports(inputs, merge, err)) {
+        std::fprintf(stderr, "bh_collect: merge failed: %s\n", err.c_str());
+        return 1;
+    }
+
+    Json final_doc;
+    if (merge.needsReplay) {
+        const BenchInfo *info = findBench(merge.manifest.experiment);
+        if (!info) {
+            std::fprintf(stderr,
+                         "bh_collect: unknown experiment '%s' (shards from "
+                         "a newer binary?)\n",
+                         merge.manifest.experiment.c_str());
+            return 1;
+        }
+        // No cell simulates during a replay, so a single-worker pool
+        // suffices for both passes below.
+        Runner runner(1);
+
+        // Enumerate this binary's cell grid first: if it diverged from
+        // the grid that produced the shards, fail with the fingerprint
+        // diagnostic instead of dying mid-replay on a missing cell.
+        {
+            BenchContext probe;
+            probe.scale = merge.manifest.scale;
+            probe.runner = &runner;
+            probe.mode = BenchContext::CellMode::Enumerate;
+            runBench(*info, probe);
+            const Json *fp = probe.result["manifest"].find("fingerprint");
+            if (!fp || fp->asString() != merge.manifest.fingerprint) {
+                std::fprintf(stderr,
+                             "bh_collect: this binary's grid fingerprint %s "
+                             "does not match the shards' %s — its cell grid "
+                             "diverged from the one that produced the "
+                             "shards\n",
+                             fp ? fp->asString().c_str() : "(none)",
+                             merge.manifest.fingerprint.c_str());
+                return 1;
+            }
+        }
+
+        // Replay the experiment's aggregation over the merged payloads.
+        BenchContext ctx;
+        ctx.scale = merge.manifest.scale;
+        ctx.runner = &runner;
+        ctx.mode = BenchContext::CellMode::Replay;
+        ctx.replayCells = &merge.cells;
+        runBench(*info, ctx);
+        final_doc = std::move(ctx.result);
+    } else {
+        final_doc = std::move(merge.merged);
+    }
+
+    if (out_path.empty())
+        out_path = "BENCH_" + merge.manifest.experiment + ".json";
+    std::ofstream f(out_path, std::ios::binary);
+    if (!f) {
+        std::fprintf(stderr, "bh_collect: cannot write %s\n",
+                     out_path.c_str());
+        return 2;
+    }
+    f << final_doc.dump(2) << "\n";
+    std::printf("bh_collect: merged %zu input(s), %llu cell(s) -> %s%s\n",
+                inputs.size(),
+                static_cast<unsigned long long>(merge.manifest.cellTotal),
+                out_path.c_str(),
+                merge.needsReplay ? " (aggregation replayed)" : "");
+    return 0;
+}
+
+int
+cmdDiff(const std::vector<std::string> &args)
+{
+    using namespace bh;
+
+    DiffOptions opts;
+    std::vector<std::string> files;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto value = [&]() -> const char * {
+            if (++i >= args.size()) {
+                std::fprintf(stderr, "bh_collect: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return args[i].c_str();
+        };
+        if (arg == "--abs-tol") {
+            opts.absTol = std::atof(value());
+        } else if (arg == "--rel-tol") {
+            opts.relTol = std::atof(value());
+        } else if (arg == "--ignore") {
+            opts.ignorePaths.push_back(value());
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "bh_collect diff: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2) {
+        std::fprintf(stderr, "bh_collect diff: exactly two files required\n");
+        return 2;
+    }
+
+    Json docs[2];
+    for (int i = 0; i < 2; ++i) {
+        std::ifstream f(files[i], std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "bh_collect: cannot open %s\n",
+                         files[i].c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << f.rdbuf();
+        std::string err;
+        if (!Json::parse(text.str(), docs[i], &err)) {
+            std::fprintf(stderr, "bh_collect: %s: JSON parse error: %s\n",
+                         files[i].c_str(), err.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<std::string> diffs = structuralDiff(docs[0], docs[1], opts);
+    for (const std::string &line : diffs)
+        std::printf("%s\n", line.c_str());
+    if (diffs.empty()) {
+        std::printf("bh_collect: %s and %s agree within tolerance\n",
+                    files[0].c_str(), files[1].c_str());
+        return 0;
+    }
+    std::printf("bh_collect: %zu difference(s)\n", diffs.size());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(stderr);
+        return 2;
+    }
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (cmd == "--help" || cmd == "-h") {
+        usage(stdout);
+        return 0;
+    }
+    if (cmd == "merge")
+        return cmdMerge(args);
+    if (cmd == "diff")
+        return cmdDiff(args);
+    std::fprintf(stderr, "bh_collect: unknown command '%s'\n", cmd.c_str());
+    usage(stderr);
+    return 2;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * BenchContext::runCells — the one entry point every experiment's sweep
+ * cells go through, and the seam where sharding, cell enumeration, and
+ * bh_collect replay plug into the bench layer.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace bh
+{
+
+std::vector<Json>
+BenchContext::runCells(const std::string &label, std::size_t n,
+                       const std::function<Json(std::size_t)> &fn)
+{
+    const std::uint64_t first = nextCell;
+    nextCell += n;
+    phases.push_back({label, first, n});
+
+    std::vector<Json> out(n);
+    if (mode == CellMode::Enumerate)
+        return out;
+
+    if (mode == CellMode::Replay) {
+        if (!replayCells)
+            panic("runCells: Replay mode without replay cells");
+        for (std::size_t i = 0; i < n; ++i) {
+            const Json *payload =
+                replayCells->find(std::to_string(first + i));
+            if (!payload || payload->isNull())
+                fatal("replay: cell %llu (phase \"%s\") missing from "
+                      "merged shards",
+                      static_cast<unsigned long long>(first + i),
+                      label.c_str());
+            out[i] = *payload;
+        }
+    } else {
+        // Block-local indices of the cells this shard owns; cells keep
+        // their block-local index in `fn`, so a sharded run executes
+        // exactly the same fn(i) calls an unsharded run would.
+        std::vector<std::size_t> owned;
+        owned.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            if (shardOwns(shard, first + i))
+                owned.push_back(i);
+        if (!runner)
+            panic("runCells: no runner configured");
+        runner->forEach(owned.size(), [&](std::size_t k) {
+            out[owned[k]] = fn(owned[k]);
+        });
+        for (std::size_t i : owned)
+            if (out[i].isNull())
+                panic("runCells: cell %llu (phase \"%s\") produced a null "
+                      "payload",
+                      static_cast<unsigned long long>(first + i),
+                      label.c_str());
+    }
+
+    // Record the produced payloads by global index (ascending: `out` is
+    // walked in order, so shard files and replayed reports serialize
+    // their cells identically).
+    for (std::size_t i = 0; i < n; ++i) {
+        if (out[i].isNull())
+            continue;       // unowned cell of a sharded run
+        cells[std::to_string(first + i)] = out[i];
+        ++cellsRun;
+    }
+    return out;
+}
+
+} // namespace bh

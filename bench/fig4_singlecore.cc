@@ -36,13 +36,8 @@ benchFig4(BenchContext &ctx)
     // Sweep cells: per app, the baseline run then one run per mechanism.
     const auto &mechs = paperMechanisms();
     const std::size_t runs_per_app = 1 + mechs.size();
-    struct Cell
-    {
-        double ipc = 0.0;
-        double energyJ = 0.0;
-    };
-    std::vector<Cell> cells = ctx.runner->map<Cell>(
-        apps.size() * runs_per_app, [&](std::size_t i) {
+    std::vector<Json> cells = ctx.runCells(
+        "apps", apps.size() * runs_per_app, [&](std::size_t i) {
             ExperimentConfig cfg = base_cfg;
             std::size_t run = i % runs_per_app;
             if (run > 0)
@@ -51,8 +46,13 @@ benchFig4(BenchContext &ctx)
             mix.name = apps[i / runs_per_app];
             mix.apps = {mix.name};
             RunResult res = runExperiment(cfg, mix);
-            return Cell{res.ipc[0], res.energyJ};
+            Json cell = Json::object();
+            cell["ipc"] = res.ipc[0];
+            cell["energy_j"] = res.energyJ;
+            return cell;
         });
+    if (!ctx.aggregate())
+        return;
 
     // Per (mechanism, category): normalized exec time & energy samples.
     std::map<std::string, std::map<char, std::vector<double>>> time_norm;
@@ -60,13 +60,14 @@ benchFig4(BenchContext &ctx)
     Json per_app = Json::object();
     for (std::size_t a = 0; a < apps.size(); ++a) {
         char cat = findApp(apps[a])->category;
-        const Cell &base = cells[a * runs_per_app];
+        const Json &base = cells[a * runs_per_app];
         Json app_json = Json::object();
         for (std::size_t m = 0; m < mechs.size(); ++m) {
-            const Cell &res = cells[a * runs_per_app + 1 + m];
+            const Json &res = cells[a * runs_per_app + 1 + m];
             // Normalized execution time = baseline IPC / mechanism IPC.
-            double t = ratio(base.ipc, res.ipc);
-            double e = ratio(res.energyJ, base.energyJ);
+            double t = ratio(cellNum(base, "ipc"), cellNum(res, "ipc"));
+            double e = ratio(cellNum(res, "energy_j"),
+                             cellNum(base, "energy_j"));
             time_norm[mechs[m]][cat].push_back(t);
             energy_norm[mechs[m]][cat].push_back(e);
             Json mech_json = Json::object();

@@ -21,53 +21,52 @@ namespace bh
 namespace
 {
 
-struct Fig5Cell
-{
-    MultiProgMetrics metrics;
-    double energyJ = 0.0;
-};
-
 struct Agg
 {
     std::vector<double> ws, hs, ms, energy;
 };
 
 Json
-runScenario(const BenchContext &ctx, const char *title,
+runScenario(BenchContext &ctx, const char *label, const char *title,
             const std::vector<MixSpec> &mixes)
 {
-    std::printf("--- %s (%zu mixes) ---\n", title, mixes.size());
-
     ExperimentConfig base_cfg = benchConfig(ctx, "Baseline");
     warmAloneIpc(ctx, base_cfg, mixes);
 
     // Sweep cells: per mix, the baseline run then one run per mechanism.
     const auto &mechs = paperMechanisms();
     const std::size_t runs_per_mix = 1 + mechs.size();
-    std::vector<Fig5Cell> cells = ctx.runner->map<Fig5Cell>(
-        mixes.size() * runs_per_mix, [&](std::size_t i) {
+    std::vector<Json> cells = ctx.runCells(
+        label, mixes.size() * runs_per_mix, [&](std::size_t i) {
             const MixSpec &mix = mixes[i / runs_per_mix];
             ExperimentConfig cfg = base_cfg;
             std::size_t run = i % runs_per_mix;
             if (run > 0)
                 cfg.mechanism = mechs[run - 1];
             RunResult res = runExperiment(cfg, mix);
-            return Fig5Cell{metricsAgainstAlone(cfg, mix, res), res.energyJ};
+            MultiProgMetrics metrics = metricsAgainstAlone(cfg, mix, res);
+            Json cell = Json::object();
+            cell["ws"] = metrics.weightedSpeedup;
+            cell["hs"] = metrics.harmonicSpeedup;
+            cell["ms"] = metrics.maxSlowdown;
+            cell["energy_j"] = res.energyJ;
+            return cell;
         });
+    if (!ctx.aggregate())
+        return Json();
 
+    std::printf("--- %s (%zu mixes) ---\n", title, mixes.size());
     std::map<std::string, Agg> agg;
     for (std::size_t x = 0; x < mixes.size(); ++x) {
-        const Fig5Cell &base = cells[x * runs_per_mix];
+        const Json &base = cells[x * runs_per_mix];
         for (std::size_t m = 0; m < mechs.size(); ++m) {
-            const Fig5Cell &res = cells[x * runs_per_mix + 1 + m];
+            const Json &res = cells[x * runs_per_mix + 1 + m];
             Agg &a = agg[mechs[m]];
-            a.ws.push_back(ratio(res.metrics.weightedSpeedup,
-                                 base.metrics.weightedSpeedup));
-            a.hs.push_back(ratio(res.metrics.harmonicSpeedup,
-                                 base.metrics.harmonicSpeedup));
-            a.ms.push_back(ratio(res.metrics.maxSlowdown,
-                                 base.metrics.maxSlowdown));
-            a.energy.push_back(ratio(res.energyJ, base.energyJ));
+            a.ws.push_back(ratio(cellNum(res, "ws"), cellNum(base, "ws")));
+            a.hs.push_back(ratio(cellNum(res, "hs"), cellNum(base, "hs")));
+            a.ms.push_back(ratio(cellNum(res, "ms"), cellNum(base, "ms")));
+            a.energy.push_back(ratio(cellNum(res, "energy_j"),
+                                     cellNum(base, "energy_j")));
         }
     }
 
@@ -110,10 +109,14 @@ void
 benchFig5(BenchContext &ctx)
 {
     unsigned n_mixes = ctx.scaled(3);
-    ctx.result["no_attack"] =
-        runScenario(ctx, "No RowHammer attack", makeBenignMixes(n_mixes, 42));
-    ctx.result["attack"] = runScenario(ctx, "RowHammer attack present",
-                                       makeAttackMixes(n_mixes, 42));
+    Json no_attack = runScenario(ctx, "no_attack", "No RowHammer attack",
+                                 makeBenignMixes(n_mixes, 42));
+    Json attack = runScenario(ctx, "attack", "RowHammer attack present",
+                              makeAttackMixes(n_mixes, 42));
+    if (!ctx.aggregate())
+        return;
+    ctx.result["no_attack"] = std::move(no_attack);
+    ctx.result["attack"] = std::move(attack);
 
     std::printf("Paper shape: no-attack ~1.00 for all mechanisms; under\n"
                 "attack only BlockHammer raises WS/HS well above 1.0 and\n"

@@ -23,26 +23,18 @@ namespace
 const std::vector<std::string> kMechs = {"PARA", "TWiCe", "Graphene",
                                          "BlockHammer"};
 
-struct Fig6Cell
-{
-    MultiProgMetrics metrics;
-    double energyJ = 0.0;
-};
-
 Json
-runScenario(const BenchContext &ctx, const char *title,
+runScenario(BenchContext &ctx, const char *label, const char *title,
             const std::vector<MixSpec> &mixes,
             const std::vector<std::uint32_t> &thresholds)
 {
-    std::printf("--- %s ---\n", title);
-
     warmAloneIpc(ctx, benchConfig(ctx, "Baseline", thresholds[0]), mixes);
 
     // Sweep cells: (threshold x mix) x (baseline + the four mechanisms).
     const std::size_t runs_per_mix = 1 + kMechs.size();
     const std::size_t cells_per_nrh = mixes.size() * runs_per_mix;
-    std::vector<Fig6Cell> cells = ctx.runner->map<Fig6Cell>(
-        thresholds.size() * cells_per_nrh, [&](std::size_t i) {
+    std::vector<Json> cells = ctx.runCells(
+        label, thresholds.size() * cells_per_nrh, [&](std::size_t i) {
             std::uint32_t nrh = thresholds[i / cells_per_nrh];
             const MixSpec &mix = mixes[(i % cells_per_nrh) / runs_per_mix];
             ExperimentConfig cfg = benchConfig(ctx, "Baseline", nrh);
@@ -50,27 +42,36 @@ runScenario(const BenchContext &ctx, const char *title,
             if (run > 0)
                 cfg.mechanism = kMechs[run - 1];
             RunResult res = runExperiment(cfg, mix);
-            return Fig6Cell{metricsAgainstAlone(cfg, mix, res), res.energyJ};
+            MultiProgMetrics metrics = metricsAgainstAlone(cfg, mix, res);
+            Json cell = Json::object();
+            cell["ws"] = metrics.weightedSpeedup;
+            cell["hs"] = metrics.harmonicSpeedup;
+            cell["ms"] = metrics.maxSlowdown;
+            cell["energy_j"] = res.energyJ;
+            return cell;
         });
+    if (!ctx.aggregate())
+        return Json();
 
+    std::printf("--- %s ---\n", title);
     Json out = Json::object();
     TextTable t({"N_RH", "mechanism", "norm WS", "norm HS", "norm MaxSlow",
                  "norm Energy"});
     for (std::size_t n = 0; n < thresholds.size(); ++n) {
         std::map<std::string, std::vector<double>> ws, hs, ms, en;
         for (std::size_t x = 0; x < mixes.size(); ++x) {
-            const Fig6Cell *row = &cells[n * cells_per_nrh
-                                         + x * runs_per_mix];
-            const Fig6Cell &base = row[0];
+            const Json *row = &cells[n * cells_per_nrh + x * runs_per_mix];
+            const Json &base = row[0];
             for (std::size_t m = 0; m < kMechs.size(); ++m) {
-                const Fig6Cell &res = row[1 + m];
-                ws[kMechs[m]].push_back(ratio(res.metrics.weightedSpeedup,
-                                              base.metrics.weightedSpeedup));
-                hs[kMechs[m]].push_back(ratio(res.metrics.harmonicSpeedup,
-                                              base.metrics.harmonicSpeedup));
-                ms[kMechs[m]].push_back(ratio(res.metrics.maxSlowdown,
-                                              base.metrics.maxSlowdown));
-                en[kMechs[m]].push_back(ratio(res.energyJ, base.energyJ));
+                const Json &res = row[1 + m];
+                ws[kMechs[m]].push_back(ratio(cellNum(res, "ws"),
+                                              cellNum(base, "ws")));
+                hs[kMechs[m]].push_back(ratio(cellNum(res, "hs"),
+                                              cellNum(base, "hs")));
+                ms[kMechs[m]].push_back(ratio(cellNum(res, "ms"),
+                                              cellNum(base, "ms")));
+                en[kMechs[m]].push_back(ratio(cellNum(res, "energy_j"),
+                                              cellNum(base, "energy_j")));
             }
         }
         Json nrh_json = Json::object();
@@ -103,11 +104,14 @@ benchFig6(BenchContext &ctx)
     std::vector<std::uint32_t> thresholds = {4096, 2048, 1024, 512, 256};
     unsigned n_mixes = ctx.scaled(1);
 
-    ctx.result["no_attack"] = runScenario(
-        ctx, "No RowHammer attack", makeBenignMixes(n_mixes, 7), thresholds);
-    ctx.result["attack"] = runScenario(ctx, "RowHammer attack present",
-                                       makeAttackMixes(n_mixes, 7),
-                                       thresholds);
+    Json no_attack = runScenario(ctx, "no_attack", "No RowHammer attack",
+                                 makeBenignMixes(n_mixes, 7), thresholds);
+    Json attack = runScenario(ctx, "attack", "RowHammer attack present",
+                              makeAttackMixes(n_mixes, 7), thresholds);
+    if (!ctx.aggregate())
+        return;
+    ctx.result["no_attack"] = std::move(no_attack);
+    ctx.result["attack"] = std::move(attack);
 
     std::printf("Paper shape: PARA degrades as N_RH shrinks (no attack);\n"
                 "BlockHammer's advantage under attack grows as N_RH "

@@ -7,6 +7,13 @@
  *
  * Determinism: for fixed --scale, the JSON output is byte-identical at
  * any --jobs value (micro's wall-clock timings go to stdout only).
+ *
+ * Distribution: --shard i/n runs only the sweep cells shard i owns and
+ * writes partial reports (manifest + raw cell payloads); `bh_collect
+ * merge` recombines n shards into a report byte-identical to an
+ * unsharded run. Every output carries a run manifest with a grid
+ * fingerprint and per-cell digests, so merges of mismatched or edited
+ * shards fail loudly.
  */
 
 #include <chrono>
@@ -29,10 +36,13 @@ usage(std::FILE *out)
         "BENCH_<name>.json per experiment.\n"
         "\n"
         "options:\n"
-        "  --list        list registered experiments and exit\n"
+        "  --list        list experiments with their sweep-cell counts\n"
+        "                at the current --scale, and exit\n"
         "  --jobs N      worker threads for sweep cells (default: all cores)\n"
         "  --scale X     fidelity multiplier >= 0.1 (default: BH_SCALE or 1)\n"
         "  --fast        shorthand for --scale 0.1 (CI smoke runs)\n"
+        "  --shard I/N   run only the sweep cells shard I of N owns and\n"
+        "                write partial reports for bh_collect merge\n"
         "  --out DIR     directory for the JSON outputs (default: .)\n"
         "  --help        this message\n");
 }
@@ -48,6 +58,8 @@ main(int argc, char **argv)
     double scale = benchScale();
     unsigned jobs = 0;      // 0 = hardware concurrency
     std::string out_dir = ".";
+    ShardSpec shard;
+    bool list = false;
     std::vector<std::string> names;
 
     for (int i = 1; i < argc; ++i) {
@@ -61,9 +73,7 @@ main(int argc, char **argv)
             usage(stdout);
             return 0;
         } else if (!std::strcmp(arg, "--list")) {
-            for (const auto &info : benchRegistry())
-                std::printf("%-14s %s\n", info.name, info.title);
-            return 0;
+            list = true;
         } else if (!std::strcmp(arg, "--jobs") || !std::strcmp(arg, "-j")) {
             int n = std::atoi(value());
             if (n < 0 || n > 4096)
@@ -75,6 +85,15 @@ main(int argc, char **argv)
                 fatal("--scale must be >= 0.1");
         } else if (!std::strcmp(arg, "--fast")) {
             scale = 0.1;
+        } else if (!std::strcmp(arg, "--shard")) {
+            const char *spec = value();
+            unsigned idx = 0, count = 0;
+            if (std::sscanf(spec, "%u/%u", &idx, &count) != 2 ||
+                count < 1 || count > 4096 || idx >= count)
+                fatal("--shard wants I/N with 0 <= I < N <= 4096, got '%s'",
+                      spec);
+            shard.index = idx;
+            shard.count = count;
         } else if (!std::strcmp(arg, "--out")) {
             out_dir = value();
         } else if (arg[0] == '-') {
@@ -84,6 +103,26 @@ main(int argc, char **argv)
         } else {
             names.push_back(arg);
         }
+    }
+
+    if (list) {
+        // Enumerate the cell spaces without simulating anything, so the
+        // counts guide the choice of N for --shard I/N.
+        Runner runner(1);
+        std::printf("%-14s %8s  %s\n", "experiment", "cells", "title");
+        for (const auto &info : benchRegistry()) {
+            BenchContext ctx;
+            ctx.scale = scale;
+            ctx.runner = &runner;
+            ctx.mode = BenchContext::CellMode::Enumerate;
+            runBench(info, ctx);
+            std::printf("%-14s %8llu  %s\n", info.name,
+                        static_cast<unsigned long long>(ctx.nextCell),
+                        info.title);
+        }
+        std::printf("\ncell counts are per experiment at scale %.2g; "
+                    "0 = analytic (runs whole in every shard)\n", scale);
+        return 0;
     }
 
     std::vector<const BenchInfo *> selected;
@@ -108,14 +147,18 @@ main(int argc, char **argv)
         fatal("cannot create output directory %s", out_dir.c_str());
 
     Runner runner(jobs);
-    std::printf("bh_bench: %zu experiment(s), %u worker(s), scale %.2g\n\n",
+    std::printf("bh_bench: %zu experiment(s), %u worker(s), scale %.2g",
                 selected.size(), runner.jobs(), scale);
+    if (shard.count > 1)
+        std::printf(", shard %u/%u", shard.index, shard.count);
+    std::printf("\n\n");
 
     double total_s = 0.0;
     for (const BenchInfo *info : selected) {
         BenchContext ctx;
         ctx.scale = scale;
         ctx.runner = &runner;
+        ctx.shard = shard;
 
         auto t0 = std::chrono::steady_clock::now();
         runBench(*info, ctx);
@@ -128,8 +171,16 @@ main(int argc, char **argv)
         if (!f)
             fatal("cannot write %s", path.c_str());
         f << ctx.result.dump(2) << "\n";
-        std::printf("[%s: %.2f s -> %s]\n\n", info->name, secs,
-                    path.c_str());
+        if (shard.count > 1)
+            std::printf("[%s: shard %u/%u ran %llu of %llu cells, "
+                        "%.2f s -> %s]\n\n",
+                        info->name, shard.index, shard.count,
+                        static_cast<unsigned long long>(ctx.cellsRun),
+                        static_cast<unsigned long long>(ctx.nextCell),
+                        secs, path.c_str());
+        else
+            std::printf("[%s: %.2f s -> %s]\n\n", info->name, secs,
+                        path.c_str());
     }
     std::printf("bh_bench: done, %.2f s total\n", total_s);
     return 0;

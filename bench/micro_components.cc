@@ -83,6 +83,12 @@ timeLoop(const std::string &name, std::uint64_t iters, const Op &op)
 void
 benchMicro(BenchContext &ctx)
 {
+    // Self-timed, no simulation cells: every shard (and a bh_collect
+    // replay) re-times the loops; only the deterministic iteration
+    // counts and checksums reach the JSON, so outputs still merge
+    // byte-identically.
+    if (!ctx.aggregate())
+        return;
     const std::uint64_t iters =
         static_cast<std::uint64_t>(200'000 * ctx.scale);
     std::vector<MicroResult> results;

@@ -1,6 +1,7 @@
 #include "bench/registry.hh"
 
 #include "bench/experiments.hh"
+#include "report/report.hh"
 
 namespace bh
 {
@@ -64,15 +65,74 @@ findBench(const std::string &name)
     return nullptr;
 }
 
+namespace
+{
+
+/**
+ * Grid identity hash: two runs can only be merged when they agree on
+ * the experiment, scale, cell space, and per-cell seeding scheme. The
+ * cellSeed probe folds the seeding algorithm itself into the hash, so a
+ * change to the seed mixing can never silently merge with old shards.
+ */
+std::string
+gridFingerprint(const BenchInfo &info, const BenchContext &ctx)
+{
+    std::uint64_t h = fnv1a64(strfmt("bench-format-%d", kBenchFormatVersion));
+    h = fnv1a64(info.name, h);
+    h = fnv1a64(Json::formatDouble(ctx.scale), h);
+    h = fnv1a64(std::to_string(ctx.nextCell), h);
+    for (const auto &phase : ctx.phases) {
+        h = fnv1a64(phase.label, h);
+        h = fnv1a64(std::to_string(phase.count), h);
+    }
+    h = fnv1a64(hex64(Runner::cellSeed(h, ctx.nextCell)), h);
+    return hex64(h);
+}
+
+} // namespace
+
 void
 runBench(const BenchInfo &info, BenchContext &ctx)
 {
-    benchHeader(info.title, info.paperRef, ctx.scale);
+    if (ctx.mode != BenchContext::CellMode::Enumerate)
+        benchHeader(info.title, info.paperRef, ctx.scale);
     ctx.result = Json::object();
     ctx.result["experiment"] = info.name;
     ctx.result["reproduces"] = info.paperRef;
     ctx.result["scale"] = ctx.scale;
+    ctx.result["manifest"];     // reserve the slot: experiment fields follow
+    ctx.cells = Json::object();
+    ctx.nextCell = 0;
+    ctx.cellsRun = 0;
+    ctx.phases.clear();
+
     info.fn(ctx);
+
+    Json manifest = Json::object();
+    manifest["format_version"] = kBenchFormatVersion;
+    manifest["experiment"] = info.name;
+    manifest["scale"] = ctx.scale;
+    manifest["shard_index"] = ctx.shard.index;
+    manifest["shard_count"] = ctx.shard.count;
+    manifest["partial"] = !ctx.aggregate();
+    manifest["cell_total"] = ctx.nextCell;
+    manifest["cells_run"] = ctx.cellsRun;
+    manifest["fingerprint"] = gridFingerprint(info, ctx);
+    Json phases = Json::array();
+    for (const auto &phase : ctx.phases) {
+        Json p = Json::object();
+        p["label"] = phase.label;
+        p["first_cell"] = phase.firstCell;
+        p["count"] = phase.count;
+        phases.push(std::move(p));
+    }
+    manifest["phases"] = std::move(phases);
+    Json digests = Json::object();
+    for (const auto &kv : ctx.cells.objectItems())
+        digests[kv.first] = hex64(fnv1a64(kv.second.dump()));
+    manifest["cell_digests"] = std::move(digests);
+    ctx.result["manifest"] = std::move(manifest);
+    ctx.result["cells"] = std::move(ctx.cells);
 }
 
 } // namespace bh

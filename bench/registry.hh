@@ -34,9 +34,12 @@ const std::vector<BenchInfo> &benchRegistry();
 const BenchInfo *findBench(const std::string &name);
 
 /**
- * Run one experiment: prints its header, executes it, and stamps the
- * result JSON with the experiment name and scale. The caller provides
- * the context (scale + runner) and owns the filled result.
+ * Run one experiment: prints its header (except in Enumerate mode),
+ * executes it, and stamps the result JSON with the experiment name,
+ * scale, a run manifest (shard spec, cell counts, grid fingerprint,
+ * per-cell digests), and the recorded cell payloads. The caller
+ * provides the context (scale, runner, cell mode/shard) and owns the
+ * filled result; bh_collect merges sharded results back together.
  */
 void runBench(const BenchInfo &info, BenchContext &ctx);
 

@@ -27,16 +27,11 @@ struct RhliStats
 };
 
 RhliStats
-measure(const BenchContext &ctx, const std::string &mode,
-        const std::vector<MixSpec> &mixes)
+measure(BenchContext &ctx, const std::string &label,
+        const std::string &mode, const std::vector<MixSpec> &mixes)
 {
-    struct Cell
-    {
-        std::vector<double> attack;
-        std::vector<double> benign;
-    };
-    std::vector<Cell> cells = ctx.runner->map<Cell>(
-        mixes.size(), [&](std::size_t i) {
+    std::vector<Json> cells = ctx.runCells(
+        label, mixes.size(), [&](std::size_t i) {
             const MixSpec &mix = mixes[i];
             ExperimentConfig cfg = benchConfig(ctx, mode);
             auto system = buildSystem(cfg, mix);
@@ -45,23 +40,31 @@ measure(const BenchContext &ctx, const std::string &mode,
                 dynamic_cast<BlockHammer *>(&system->mem().mitigation());
             if (bh == nullptr)
                 fatal("mechanism is not BlockHammer");
-            Cell c;
+            Json attack = Json::array();
+            Json benign = Json::array();
             for (unsigned t = 0; t < cfg.threads; ++t) {
                 double rhli = bh->maxRhli(static_cast<ThreadId>(t));
                 if (static_cast<int>(t) == mix.attackSlot())
-                    c.attack.push_back(rhli);
+                    attack.push(rhli);
                 else
-                    c.benign.push_back(rhli);
+                    benign.push(rhli);
             }
-            return c;
+            Json cell = Json::object();
+            cell["attack"] = std::move(attack);
+            cell["benign"] = std::move(benign);
+            return cell;
         });
 
     RhliStats out;
-    for (const Cell &c : cells) {
-        out.attack.insert(out.attack.end(), c.attack.begin(),
-                          c.attack.end());
-        out.benignMax.insert(out.benignMax.end(), c.benign.begin(),
-                             c.benign.end());
+    for (const Json &c : cells) {
+        if (c.isNull())
+            continue;   // unowned cell of a sharded partial run
+        if (const Json *attack = c.find("attack"))
+            for (std::size_t i = 0; i < attack->size(); ++i)
+                out.attack.push_back(attack->at(i).asDouble());
+        if (const Json *benign = c.find("benign"))
+            for (std::size_t i = 0; i < benign->size(); ++i)
+                out.benignMax.push_back(benign->at(i).asDouble());
     }
     return out;
 }
@@ -104,8 +107,11 @@ benchSec321(BenchContext &ctx)
     unsigned n_mixes = ctx.scaled(3);
     auto mixes = makeAttackMixes(n_mixes, 99);
 
-    RhliStats observe = measure(ctx, "BlockHammer-Observe", mixes);
-    RhliStats full = measure(ctx, "BlockHammer", mixes);
+    RhliStats observe = measure(ctx, "observe", "BlockHammer-Observe",
+                                mixes);
+    RhliStats full = measure(ctx, "full", "BlockHammer", mixes);
+    if (!ctx.aggregate())
+        return;
     ctx.result["observe_only"] = report("observe-only", observe);
     ctx.result["full_functional"] = report("full-functional", full);
 

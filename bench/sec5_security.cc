@@ -51,6 +51,28 @@ empiricalMaxActs(const BlockHammerConfig &cfg, Cycle window)
 void
 benchSec5(BenchContext &ctx)
 {
+    // The empirical adversary runs are this experiment's only simulation
+    // cells; declare them first so sharded runs can stop right after.
+    // Compressed windows keep the empirical run fast; ratios match the
+    // paper configuration exactly. Independent cells, one per threshold.
+    const std::vector<std::uint32_t> emp_nrh = {4096u, 2048u, 1024u};
+    std::vector<Json> cells = ctx.runCells(
+        "empirical", emp_nrh.size(), [&](std::size_t i) {
+            DramTimingNs ns;
+            ns.tREFW = 2e6;     // 2 ms window
+            auto timings = DramTimings::fromNs(ns);
+            auto c = BlockHammerConfig::forThreshold(emp_nrh[i], timings);
+            SecurityAnalyzer s(c);
+            FeasibilityResult r = s.analyze();
+            Json cell = Json::object();
+            cell["window_cycles"] = static_cast<std::int64_t>(c.tREFW);
+            cell["adversary_acts"] = empiricalMaxActs(c, c.tREFW);
+            cell["analytic_bound"] = r.maxActsInWindow;
+            return cell;
+        });
+    if (!ctx.aggregate())
+        return;
+
     auto cfg = BlockHammerConfig::forThreshold(32768, DramTimings::ddr4());
     SecurityAnalyzer sa(cfg);
 
@@ -93,44 +115,27 @@ benchSec5(BenchContext &ctx)
     ctx.result["feasibility"] = feasibility;
 
     std::printf("--- Empirical adversary vs. RowBlocker implementation ---\n");
-    // Compressed windows keep the empirical run fast; ratios match the
-    // paper configuration exactly. Independent cells, one per threshold.
-    const std::vector<std::uint32_t> emp_nrh = {4096u, 2048u, 1024u};
-    struct Cell
-    {
-        Cycle window = 0;
-        std::uint64_t acts = 0;
-        std::int64_t bound = 0;
-    };
-    std::vector<Cell> cells = ctx.runner->map<Cell>(
-        emp_nrh.size(), [&](std::size_t i) {
-            DramTimingNs ns;
-            ns.tREFW = 2e6;     // 2 ms window
-            auto timings = DramTimings::fromNs(ns);
-            auto c = BlockHammerConfig::forThreshold(emp_nrh[i], timings);
-            SecurityAnalyzer s(c);
-            FeasibilityResult r = s.analyze();
-            return Cell{c.tREFW, empiricalMaxActs(c, c.tREFW),
-                        r.maxActsInWindow};
-        });
-
     TextTable te({"config", "window", "adversary acts", "analytic bound",
                   "N_RH", "safe?"});
     Json empirical = Json::object();
     for (std::size_t i = 0; i < emp_nrh.size(); ++i) {
-        const Cell &c = cells[i];
+        const Json &c = cells[i];
+        std::int64_t window = cellInt(c, "window_cycles");
+        std::uint64_t acts =
+            static_cast<std::uint64_t>(cellInt(c, "adversary_acts"));
+        std::int64_t bound = cellInt(c, "analytic_bound");
         Json row = Json::object();
-        row["window_cycles"] = static_cast<std::int64_t>(c.window);
-        row["adversary_acts"] = c.acts;
-        row["analytic_bound"] = c.bound;
-        row["safe"] = c.acts < emp_nrh[i];
+        row["window_cycles"] = window;
+        row["adversary_acts"] = acts;
+        row["analytic_bound"] = bound;
+        row["safe"] = acts < emp_nrh[i];
         empirical[strfmt("%u", emp_nrh[i])] = row;
         te.addRow({strfmt("N_RH=%u/2ms", emp_nrh[i]),
-                   strfmt("%lld", static_cast<long long>(c.window)),
-                   strfmt("%llu", static_cast<unsigned long long>(c.acts)),
-                   strfmt("%lld", static_cast<long long>(c.bound)),
+                   strfmt("%lld", static_cast<long long>(window)),
+                   strfmt("%llu", static_cast<unsigned long long>(acts)),
+                   strfmt("%lld", static_cast<long long>(bound)),
                    strfmt("%u", emp_nrh[i]),
-                   c.acts < emp_nrh[i] ? "yes" : "NO (BUG)"});
+                   acts < emp_nrh[i] ? "yes" : "NO (BUG)"});
     }
     std::printf("%s\n", te.render().c_str());
     ctx.result["empirical"] = empirical;

@@ -23,16 +23,8 @@ benchSec84(BenchContext &ctx)
     const std::vector<std::uint32_t> thresholds = {1024u, 512u, 256u};
 
     // Sweep cells: (threshold x mix) runs under full BlockHammer.
-    struct Cell
-    {
-        std::uint64_t acts = 0;
-        std::uint64_t delayed = 0;
-        std::uint64_t fps = 0;
-        Cycle tdelay = 0;
-        std::vector<std::int64_t> delayPercentiles;
-    };
-    std::vector<Cell> cells = ctx.runner->map<Cell>(
-        thresholds.size() * mixes.size(), [&](std::size_t i) {
+    std::vector<Json> cells = ctx.runCells(
+        "thresholds", thresholds.size() * mixes.size(), [&](std::size_t i) {
             std::uint32_t nrh = thresholds[i / mixes.size()];
             const MixSpec &mix = mixes[i % mixes.size()];
             ExperimentConfig cfg = benchConfig(ctx, "BlockHammer", nrh);
@@ -40,19 +32,24 @@ benchSec84(BenchContext &ctx)
             system->run(cfg.warmupCycles + cfg.runCycles);
             auto *bh =
                 dynamic_cast<BlockHammer *>(&system->mem().mitigation());
-            Cell c;
-            c.acts = bh->totalActivations();
-            c.delayed = bh->delayedActivations();
-            c.fps = bh->falsePositiveActivations();
-            c.tdelay = bh->rowBlocker().tDelay();
+            Json cell = Json::object();
+            cell["acts"] = bh->totalActivations();
+            cell["delayed"] = bh->delayedActivations();
+            cell["fps"] = bh->falsePositiveActivations();
+            cell["tdelay"] = static_cast<std::int64_t>(
+                bh->rowBlocker().tDelay());
             const Histogram &h = bh->delayHistogram();
             // Summarize each mix's delay distribution by its percentile
-            // points; the merge below re-samples them.
+            // points; the aggregation below re-samples them.
+            Json percentiles = Json::array();
             if (h.count() > 0)
                 for (double p : {10.0, 30.0, 50.0, 70.0, 90.0, 100.0})
-                    c.delayPercentiles.push_back(h.percentile(p));
-            return c;
+                    percentiles.push(h.percentile(p));
+            cell["delay_percentiles"] = std::move(percentiles);
+            return cell;
         });
+    if (!ctx.aggregate())
+        return;
 
     TextTable t({"N_RH", "total acts", "delayed", "false pos",
                  "FP rate %", "delay P50 us", "P90 us", "P100 us",
@@ -64,13 +61,14 @@ benchSec84(BenchContext &ctx)
         Cycle tdelay = 0;
         Histogram all_delays;
         for (std::size_t x = 0; x < mixes.size(); ++x) {
-            const Cell &c = cells[n * mixes.size() + x];
-            acts += c.acts;
-            delayed += c.delayed;
-            fps += c.fps;
-            tdelay = c.tdelay;
-            for (std::int64_t v : c.delayPercentiles)
-                all_delays.add(v);
+            const Json &c = cells[n * mixes.size() + x];
+            acts += static_cast<std::uint64_t>(cellInt(c, "acts"));
+            delayed += static_cast<std::uint64_t>(cellInt(c, "delayed"));
+            fps += static_cast<std::uint64_t>(cellInt(c, "fps"));
+            tdelay = static_cast<Cycle>(cellInt(c, "tdelay"));
+            if (const Json *ps = c.find("delay_percentiles"))
+                for (std::size_t v = 0; v < ps->size(); ++v)
+                    all_delays.add(ps->at(v).asInt());
         }
         double fp_rate = 100.0 * ratio(static_cast<double>(fps),
                                        static_cast<double>(acts));

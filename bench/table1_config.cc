@@ -14,6 +14,9 @@ namespace bh
 void
 benchTable1(BenchContext &ctx)
 {
+    // Analytic: no simulation cells, runs whole in every shard.
+    if (!ctx.aggregate())
+        return;
     auto timings = DramTimings::ddr4();
     auto cfg = BlockHammerConfig::forThreshold(32768, timings);
 

@@ -56,6 +56,9 @@ printForThreshold(const HwCostModel &model, std::uint32_t n_rh)
 void
 benchTable4(BenchContext &ctx)
 {
+    // Analytic: no simulation cells, runs whole in every shard.
+    if (!ctx.aggregate())
+        return;
     HwCostModel model;
     ctx.result["nrh_32k"] = printForThreshold(model, 32768);
     ctx.result["nrh_1k"] = printForThreshold(model, 1024);

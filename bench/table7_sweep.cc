@@ -13,6 +13,9 @@ namespace bh
 void
 benchTable7(BenchContext &ctx)
 {
+    // Analytic: no simulation cells, runs whole in every shard.
+    if (!ctx.aggregate())
+        return;
     Json rows = Json::object();
     TextTable t({"N_RH", "N_RH*", "CBF size", "N_BL", "tCBF ms",
                  "tDelay us", "HB entries"});

@@ -21,14 +21,9 @@ benchTable8(BenchContext &ctx)
     cfg.hammerObserver = false;
 
     const auto &catalog = appCatalog();
-    struct Cell
-    {
-        double mpki = 0.0;
-        double rbcpki = 0.0;
-    };
     // One cell per app: run it alone and characterize it.
-    std::vector<Cell> cells = ctx.runner->map<Cell>(
-        catalog.size(), [&](std::size_t i) {
+    std::vector<Json> cells = ctx.runCells(
+        "apps", catalog.size(), [&](std::size_t i) {
             const auto &app = catalog[i];
             MixSpec mix;
             mix.name = app.params.name;
@@ -48,18 +43,20 @@ benchTable8(BenchContext &ctx)
             double kilo_instr =
                 static_cast<double>(system->core(0).retired() - retired0) /
                 1000.0;
-            Cell c;
+            Json cell = Json::object();
             // Apps that bypass the cache have no LLC-miss-based MPKI
             // (Table 8 lists '-').
-            c.mpki = app.params.bypassCache
+            cell["mpki"] = app.params.bypassCache
                 ? -1.0
                 : ratio(static_cast<double>(llc1.misses - llc0.misses),
                         kilo_instr);
-            c.rbcpki = ratio(
+            cell["rbcpki"] = ratio(
                 static_cast<double>(mem1.rowConflicts - mem0.rowConflicts),
                 kilo_instr);
-            return c;
+            return cell;
         });
+    if (!ctx.aggregate())
+        return;
 
     TextTable t({"app", "class", "paper MPKI", "MPKI", "paper RBCPKI",
                  "RBCPKI", "class OK?"});
@@ -67,23 +64,24 @@ benchTable8(BenchContext &ctx)
     unsigned correct = 0, total = 0;
     for (std::size_t i = 0; i < catalog.size(); ++i) {
         const auto &app = catalog[i];
-        const Cell &c = cells[i];
+        double mpki = cellNum(cells[i], "mpki");
+        double rbcpki = cellNum(cells[i], "rbcpki");
         char measured_class =
-            c.rbcpki < 1.0 ? 'L' : (c.rbcpki < 5.0 ? 'M' : 'H');
+            rbcpki < 1.0 ? 'L' : (rbcpki < 5.0 ? 'M' : 'H');
         bool ok = measured_class == app.category;
         correct += ok;
         ++total;
         Json row = Json::object();
         row["category"] = std::string(1, app.category);
-        row["mpki"] = c.mpki;
-        row["rbcpki"] = c.rbcpki;
+        row["mpki"] = mpki;
+        row["rbcpki"] = rbcpki;
         row["category_ok"] = ok;
         apps[app.params.name] = row;
         t.addRow({app.params.name, std::string(1, app.category),
                   app.paperMpki < 0 ? "-" : TextTable::num(app.paperMpki, 1),
-                  c.mpki < 0 ? "-" : TextTable::num(c.mpki, 1),
+                  mpki < 0 ? "-" : TextTable::num(mpki, 1),
                   TextTable::num(app.paperRbcpki, 1),
-                  TextTable::num(c.rbcpki, 1),
+                  TextTable::num(rbcpki, 1),
                   ok ? "yes" : "NO"});
     }
     std::printf("%s\n", t.render().c_str());

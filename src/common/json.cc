@@ -1,8 +1,10 @@
 #include "common/json.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/log.hh"
 
@@ -184,6 +186,365 @@ Json::dump(int indent) const
     std::string out;
     dumpTo(out, indent, 0);
     return out;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a fixed text buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : s(text) {}
+
+    bool
+    run(Json &out, std::string *err)
+    {
+        bool ok = parseValue(out, 0) && (skipWs(), pos == s.size());
+        if (!ok && pos == s.size() && error.empty())
+            error = "unexpected end of input";
+        if (!ok && error.empty())
+            error = "trailing content";
+        if (!ok && err)
+            *err = strfmt("%s at offset %zu", error.c_str(), pos);
+        return ok;
+    }
+
+  private:
+    // Deep nesting is legal JSON but would overflow the C++ stack long
+    // before it exhausts memory; bound recursion explicitly.
+    static constexpr int kMaxDepth = 256;
+
+    const std::string &s;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                                  s[pos] == '\n' || s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t len = std::strlen(word);
+        if (s.compare(pos, len, word) != 0)
+            return fail(strfmt("invalid literal (expected '%s')", word));
+        pos += len;
+        return true;
+    }
+
+    bool
+    parseValue(Json &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+            case 'n': out = Json(); return literal("null");
+            case 't': out = Json(true); return literal("true");
+            case 'f': out = Json(false); return literal("false");
+            case '"': return parseString(out);
+            case '[': return parseArray(out, depth);
+            case '{': return parseObject(out, depth);
+            default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseArray(Json &out, int depth)
+    {
+        ++pos;      // consume '['
+        out = Json::array();
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            Json elem;
+            if (!parseValue(elem, depth + 1))
+                return false;
+            out.push(std::move(elem));
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated array");
+            if (s[pos] == ',') {
+                ++pos;
+            } else if (s[pos] == ']') {
+                ++pos;
+                return true;
+            } else {
+                return fail("expected ',' or ']' in array");
+            }
+        }
+    }
+
+    bool
+    parseObject(Json &out, int depth)
+    {
+        ++pos;      // consume '{'
+        out = Json::object();
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"')
+                return fail("expected object key string");
+            Json key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':' after object key");
+            ++pos;
+            // operator[] keeps insertion order; duplicate keys collapse
+            // to the last occurrence, as in most JSON implementations.
+            if (!parseValue(out[key.asString()], depth + 1))
+                return false;
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated object");
+            if (s[pos] == ',') {
+                ++pos;
+            } else if (s[pos] == '}') {
+                ++pos;
+                return true;
+            } else {
+                return fail("expected ',' or '}' in object");
+            }
+        }
+    }
+
+    /** Append one Unicode code point as UTF-8. */
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    hex4(unsigned &out)
+    {
+        if (pos + 4 > s.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = s[pos + i];
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = 10 + (c - 'a');
+            else if (c >= 'A' && c <= 'F')
+                digit = 10 + (c - 'A');
+            else
+                return fail("invalid \\u escape digit");
+            out = (out << 4) | digit;
+        }
+        pos += 4;
+        return true;
+    }
+
+    bool
+    parseString(Json &out)
+    {
+        ++pos;      // consume '"'
+        std::string str;
+        for (;;) {
+            if (pos >= s.size())
+                return fail("unterminated string");
+            char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                out = Json(std::move(str));
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                str += c;
+                ++pos;
+                continue;
+            }
+            if (++pos >= s.size())
+                return fail("unterminated escape");
+            switch (s[pos++]) {
+                case '"': str += '"'; break;
+                case '\\': str += '\\'; break;
+                case '/': str += '/'; break;
+                case 'b': str += '\b'; break;
+                case 'f': str += '\f'; break;
+                case 'n': str += '\n'; break;
+                case 'r': str += '\r'; break;
+                case 't': str += '\t'; break;
+                case 'u': {
+                    unsigned cp;
+                    if (!hex4(cp))
+                        return false;
+                    if (cp >= 0xd800 && cp < 0xdc00) {
+                        // High surrogate: the low half must follow.
+                        unsigned lo;
+                        if (s.compare(pos, 2, "\\u") != 0)
+                            return fail("unpaired surrogate");
+                        pos += 2;
+                        if (!hex4(lo))
+                            return false;
+                        if (lo < 0xdc00 || lo > 0xdfff)
+                            return fail("invalid low surrogate");
+                        cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                    } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                        return fail("unpaired surrogate");
+                    }
+                    appendUtf8(str, cp);
+                    break;
+                }
+                default:
+                    return fail("invalid escape character");
+            }
+        }
+    }
+
+    /**
+     * Strict JSON number grammar: '-'? ('0' | [1-9][0-9]*)
+     * ('.' [0-9]+)? ([eE] [+-]? [0-9]+)?. strtod alone would also
+     * accept "012", ".5", or "5.", which neither standard JSON nor
+     * dump() produces.
+     */
+    static bool
+    validNumberToken(const std::string &t)
+    {
+        std::size_t i = 0;
+        auto digit = [&](std::size_t k) {
+            return k < t.size() && t[k] >= '0' && t[k] <= '9';
+        };
+        if (i < t.size() && t[i] == '-')
+            ++i;
+        if (!digit(i))
+            return false;
+        if (t[i] == '0')
+            ++i;                    // no leading zeros
+        else
+            while (digit(i))
+                ++i;
+        if (i < t.size() && t[i] == '.') {
+            ++i;
+            if (!digit(i))
+                return false;
+            while (digit(i))
+                ++i;
+        }
+        if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+            ++i;
+            if (i < t.size() && (t[i] == '+' || t[i] == '-'))
+                ++i;
+            if (!digit(i))
+                return false;
+            while (digit(i))
+                ++i;
+        }
+        return i == t.size();
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        bool integral = true;
+        bool digits = false;
+        char prev = '\0';
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (c >= '0' && c <= '9') {
+                digits = true;
+            } else if (c == '.' || c == 'e' || c == 'E') {
+                integral = false;
+            } else if ((c == '+' || c == '-') &&
+                       (prev == 'e' || prev == 'E')) {
+                // Exponent sign; strtod validates the rest.
+            } else {
+                break;
+            }
+            prev = c;
+            ++pos;
+        }
+        if (!digits)
+            return fail("invalid value");
+        std::string token = s.substr(start, pos - start);
+        if (!validNumberToken(token))
+            return fail("invalid number");
+
+        // Integer classification must preserve serialized bytes:
+        // re-dumping a parsed Int prints std::to_string(v), so only
+        // tokens that round-trip through it stay integers ("-0" and
+        // out-of-range magnitudes fall back to double).
+        if (integral) {
+            errno = 0;
+            char *end = nullptr;
+            long long v = std::strtoll(token.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0' &&
+                std::to_string(v) == token) {
+                out = Json(static_cast<std::int64_t>(v));
+                return true;
+            }
+        }
+        errno = 0;
+        char *end = nullptr;
+        double d = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0' || end == token.c_str())
+            return fail("invalid number");
+        // Overflow to infinity is accepted: the serializer encodes
+        // non-finite values as +/-1e999.
+        out = Json(d);
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json &out, std::string *err)
+{
+    Parser p(text);
+    Json result;
+    if (!p.run(result, err)) {
+        out = Json();
+        return false;
+    }
+    out = std::move(result);
+    return true;
 }
 
 } // namespace bh

@@ -1,11 +1,15 @@
 /**
  * @file
- * Minimal JSON value with deterministic serialization, used for the
- * machine-readable BENCH_*.json experiment outputs.
+ * Minimal JSON value with deterministic serialization and a parser that
+ * round-trips it, used for the machine-readable BENCH_*.json experiment
+ * outputs and the bh_collect aggregation subsystem.
  *
  * Object keys keep insertion order and doubles print as the shortest
  * round-trip decimal, so two runs that compute identical values serialize
  * to byte-identical files regardless of thread count or platform locale.
+ * The parser preserves those properties in reverse: for every value this
+ * module can dump, dump(parse(dump(x))) == dump(x) byte for byte, and
+ * parsed doubles are bit-identical to the ones that were serialized.
  */
 
 #ifndef BH_COMMON_JSON_HH
@@ -47,6 +51,13 @@ class Json
     /** Object lookup without insertion; nullptr when absent. */
     const Json *find(const std::string &key) const;
 
+    /** Object members in insertion order (empty for non-objects). */
+    const std::vector<std::pair<std::string, Json>> &
+    objectItems() const
+    {
+        return members;
+    }
+
     /** Array append; returns the array for chaining. */
     Json &push(Json value);
 
@@ -64,6 +75,17 @@ class Json
 
     /** Shortest decimal that round-trips to exactly `v`. */
     static std::string formatDouble(double v);
+
+    /**
+     * Parse JSON text into `out`. Returns false on malformed input and,
+     * when `err` is non-null, stores a message naming the byte offset.
+     * Accepts exactly the grammar dump() emits plus standard JSON
+     * (any whitespace, \uXXXX escapes with surrogate pairs, numbers in
+     * scientific notation; "1e999" overflows to infinity, matching the
+     * serializer's encoding of non-finite values).
+     */
+    static bool parse(const std::string &text, Json &out,
+                      std::string *err = nullptr);
 
   private:
     void dumpTo(std::string &out, int indent, int depth) const;

@@ -1,0 +1,552 @@
+#include "report/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+std::uint64_t
+fnv1a64(const std::string &data, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hex64(std::uint64_t value)
+{
+    return strfmt("%016llx", static_cast<unsigned long long>(value));
+}
+
+std::string
+RunManifest::phaseOf(std::uint64_t cell) const
+{
+    for (const Phase &p : phases)
+        if (cell >= p.firstCell && cell < p.firstCell + p.count)
+            return p.label;
+    return "?";
+}
+
+namespace
+{
+
+/** Fetch a required member of `obj` with the given type predicate. */
+const Json *
+member(const Json &obj, const char *key, Json::Type type, std::string &err)
+{
+    const Json *j = obj.find(key);
+    if (!j) {
+        err = strfmt("manifest is missing '%s'", key);
+        return nullptr;
+    }
+    bool numeric_ok = type == Json::Type::Int &&
+        j->type() == Json::Type::Double;
+    if (j->type() != type && !numeric_ok) {
+        err = strfmt("manifest member '%s' has the wrong type", key);
+        return nullptr;
+    }
+    return j;
+}
+
+} // namespace
+
+bool
+parseManifest(const Json &doc, RunManifest &out, std::string &err)
+{
+    const Json *m = doc.find("manifest");
+    if (!m || m->type() != Json::Type::Object) {
+        err = "document has no run manifest (not written by bh_bench?)";
+        return false;
+    }
+
+    const Json *v;
+    if (!(v = member(*m, "format_version", Json::Type::Int, err)))
+        return false;
+    out.formatVersion = static_cast<int>(v->asInt());
+    if (out.formatVersion != kBenchFormatVersion) {
+        err = strfmt("unsupported manifest format version %d (expected %d)",
+                     out.formatVersion, kBenchFormatVersion);
+        return false;
+    }
+    if (!(v = member(*m, "experiment", Json::Type::String, err)))
+        return false;
+    out.experiment = v->asString();
+    if (!(v = m->find("scale")) ||
+        (v->type() != Json::Type::Double && v->type() != Json::Type::Int)) {
+        err = "manifest member 'scale' missing or non-numeric";
+        return false;
+    }
+    out.scale = v->asDouble();
+    if (!(v = member(*m, "shard_index", Json::Type::Int, err)))
+        return false;
+    out.shardIndex = static_cast<unsigned>(v->asInt());
+    if (!(v = member(*m, "shard_count", Json::Type::Int, err)))
+        return false;
+    out.shardCount = static_cast<unsigned>(v->asInt());
+    if (out.shardCount < 1 || out.shardIndex >= out.shardCount) {
+        err = strfmt("invalid shard spec %u/%u", out.shardIndex,
+                     out.shardCount);
+        return false;
+    }
+    if (!(v = member(*m, "partial", Json::Type::Bool, err)))
+        return false;
+    out.partial = v->asBool();
+    if (!(v = member(*m, "cell_total", Json::Type::Int, err)))
+        return false;
+    out.cellTotal = static_cast<std::uint64_t>(v->asInt());
+    if (!(v = member(*m, "cells_run", Json::Type::Int, err)))
+        return false;
+    out.cellsRun = static_cast<std::uint64_t>(v->asInt());
+    if (!(v = member(*m, "fingerprint", Json::Type::String, err)))
+        return false;
+    out.fingerprint = v->asString();
+
+    out.phases.clear();
+    if (!(v = member(*m, "phases", Json::Type::Array, err)))
+        return false;
+    for (std::size_t i = 0; i < v->size(); ++i) {
+        const Json &p = v->at(i);
+        const Json *label = p.find("label");
+        const Json *first = p.find("first_cell");
+        const Json *count = p.find("count");
+        if (!label || label->type() != Json::Type::String ||
+            !first || first->type() != Json::Type::Int ||
+            !count || count->type() != Json::Type::Int) {
+            err = strfmt("manifest phase %zu is malformed", i);
+            return false;
+        }
+        out.phases.push_back(
+            {label->asString(), static_cast<std::uint64_t>(first->asInt()),
+             static_cast<std::uint64_t>(count->asInt())});
+    }
+    return true;
+}
+
+bool
+loadReportText(const std::string &text, const std::string &label,
+               LoadedReport &out, std::string &err)
+{
+    out.path = label;
+    std::string parse_err;
+    if (!Json::parse(text, out.doc, &parse_err)) {
+        err = strfmt("%s: JSON parse error: %s", label.c_str(),
+                     parse_err.c_str());
+        return false;
+    }
+    std::string manifest_err;
+    if (!parseManifest(out.doc, out.manifest, manifest_err)) {
+        err = strfmt("%s: %s", label.c_str(), manifest_err.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+loadReportFile(const std::string &path, LoadedReport &out, std::string &err)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        err = strfmt("cannot open %s", path.c_str());
+        return false;
+    }
+    std::ostringstream text;
+    text << f.rdbuf();
+    return loadReportText(text.str(), path, out, err);
+}
+
+namespace
+{
+
+/** Cells object of a report (empty object when absent). */
+const Json &
+cellsOf(const Json &doc)
+{
+    static const Json empty = Json::object();
+    const Json *cells = doc.find("cells");
+    return cells && cells->type() == Json::Type::Object ? *cells : empty;
+}
+
+/** Parse a cells-object key ("17") into a global cell index. */
+bool
+cellKey(const std::string &key, std::uint64_t &out)
+{
+    if (key.empty() ||
+        key.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    out = std::strtoull(key.c_str(), nullptr, 10);
+    return true;
+}
+
+/**
+ * Validate one input's cells against its own manifest: shard ownership,
+ * recorded count, and the per-cell digests that make any post-run edit
+ * of a payload fail loudly.
+ */
+bool
+validateCells(const LoadedReport &in, std::string &err)
+{
+    const RunManifest &m = in.manifest;
+    const Json &cells = cellsOf(in.doc);
+    const Json *manifest = in.doc.find("manifest");
+    const Json *digests = manifest ? manifest->find("cell_digests") : nullptr;
+    if (!digests || digests->type() != Json::Type::Object) {
+        err = strfmt("%s: manifest has no cell_digests", in.path.c_str());
+        return false;
+    }
+
+    if (cells.size() != m.cellsRun) {
+        err = strfmt("%s: manifest says %llu cells run but %zu recorded",
+                     in.path.c_str(),
+                     static_cast<unsigned long long>(m.cellsRun),
+                     cells.size());
+        return false;
+    }
+    if (digests->size() != cells.size()) {
+        err = strfmt("%s: %zu cell digests for %zu cells", in.path.c_str(),
+                     digests->size(), cells.size());
+        return false;
+    }
+
+    for (const auto &kv : cells.objectItems()) {
+        std::uint64_t g;
+        if (!cellKey(kv.first, g) || g >= m.cellTotal) {
+            err = strfmt("%s: invalid cell key '%s'", in.path.c_str(),
+                         kv.first.c_str());
+            return false;
+        }
+        if (g % m.shardCount != m.shardIndex) {
+            err = strfmt("%s: cell %llu (phase \"%s\") is not owned by "
+                         "shard %u/%u",
+                         in.path.c_str(), static_cast<unsigned long long>(g),
+                         m.phaseOf(g).c_str(), m.shardIndex, m.shardCount);
+            return false;
+        }
+        const Json *want = digests->find(kv.first);
+        if (!want) {
+            err = strfmt("%s: cell %llu has no digest", in.path.c_str(),
+                         static_cast<unsigned long long>(g));
+            return false;
+        }
+        std::string got = hex64(fnv1a64(kv.second.dump()));
+        if (want->asString() != got) {
+            err = strfmt("%s: conflict: cell %llu (phase \"%s\") does not "
+                         "match its manifest digest (%s recorded, payload "
+                         "hashes to %s) — corrupted or hand-edited shard",
+                         in.path.c_str(), static_cast<unsigned long long>(g),
+                         m.phaseOf(g).c_str(), want->asString().c_str(),
+                         got.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+void
+normalizeToUnsharded(Json &doc)
+{
+    Json &manifest = doc["manifest"];
+    manifest["shard_index"] = 0;
+    manifest["shard_count"] = 1;
+}
+
+bool
+mergeReports(const std::vector<LoadedReport> &inputs, MergeResult &out,
+             std::string &err)
+{
+    if (inputs.empty()) {
+        err = "no input reports to merge";
+        return false;
+    }
+
+    const RunManifest &ref = inputs.front().manifest;
+    bool any_partial = false;
+    for (const LoadedReport &in : inputs) {
+        const RunManifest &m = in.manifest;
+        if (m.experiment != ref.experiment) {
+            err = strfmt("%s: experiment '%s' does not match '%s' (%s)",
+                         in.path.c_str(), m.experiment.c_str(),
+                         ref.experiment.c_str(),
+                         inputs.front().path.c_str());
+            return false;
+        }
+        if (m.scale != ref.scale) {
+            err = strfmt("%s: scale %s does not match %s", in.path.c_str(),
+                         Json::formatDouble(m.scale).c_str(),
+                         Json::formatDouble(ref.scale).c_str());
+            return false;
+        }
+        if (m.fingerprint != ref.fingerprint) {
+            err = strfmt("%s: grid fingerprint %s does not match %s — "
+                         "shards were produced by different configurations "
+                         "or binary versions",
+                         in.path.c_str(), m.fingerprint.c_str(),
+                         ref.fingerprint.c_str());
+            return false;
+        }
+        if (m.cellTotal != ref.cellTotal) {
+            err = strfmt("%s: cell total %llu does not match %llu",
+                         in.path.c_str(),
+                         static_cast<unsigned long long>(m.cellTotal),
+                         static_cast<unsigned long long>(ref.cellTotal));
+            return false;
+        }
+        if (!validateCells(in, err))
+            return false;
+        any_partial = any_partial || m.partial;
+    }
+
+    // Union the cells by global index; overlapping cells (the same cell
+    // run on several machines) must agree byte for byte.
+    struct Owned
+    {
+        const Json *payload;
+        const LoadedReport *source;
+        std::string dump;
+    };
+    std::map<std::uint64_t, Owned> merged;
+    for (const LoadedReport &in : inputs) {
+        for (const auto &kv : cellsOf(in.doc).objectItems()) {
+            std::uint64_t g = 0;
+            cellKey(kv.first, g);
+            std::string dump = kv.second.dump();
+            auto it = merged.find(g);
+            if (it == merged.end()) {
+                merged.emplace(g, Owned{&kv.second, &in, std::move(dump)});
+            } else if (it->second.dump != dump) {
+                err = strfmt("conflict: cell %llu (phase \"%s\") differs "
+                             "between %s and %s — runs are not "
+                             "deterministic across these shards",
+                             static_cast<unsigned long long>(g),
+                             ref.phaseOf(g).c_str(),
+                             it->second.source->path.c_str(),
+                             in.path.c_str());
+                return false;
+            }
+        }
+    }
+
+    // Coverage: every cell of the grid must be present somewhere.
+    std::vector<std::uint64_t> missing;
+    for (std::uint64_t g = 0; g < ref.cellTotal; ++g)
+        if (!merged.count(g)) {
+            missing.push_back(g);
+            if (missing.size() > 8)
+                break;
+        }
+    if (!missing.empty()) {
+        std::string list;
+        for (std::size_t i = 0; i < missing.size() && i < 8; ++i)
+            list += strfmt("%s%llu", i ? ", " : "",
+                           static_cast<unsigned long long>(missing[i]));
+        if (missing.size() > 8)
+            list += ", ...";
+        err = strfmt("incomplete merge: %llu of %llu cells covered; "
+                     "missing cell(s) %s — run the absent shard(s) first",
+                     static_cast<unsigned long long>(merged.size()),
+                     static_cast<unsigned long long>(ref.cellTotal),
+                     list.c_str());
+        return false;
+    }
+
+    out.manifest = ref;
+    out.manifest.shardIndex = 0;
+    out.manifest.shardCount = 1;
+    out.manifest.partial = false;
+    out.manifest.cellsRun = ref.cellTotal;
+
+    if (!any_partial) {
+        // Every input is a complete report (cell-free experiments run
+        // whole in every shard; or re-runs of a full grid). They must be
+        // identical once the shard spec is normalized away — the
+        // cross-machine determinism check for aggregate content.
+        Json first = inputs.front().doc;
+        normalizeToUnsharded(first);
+        std::string first_dump = first.dump();
+        for (std::size_t i = 1; i < inputs.size(); ++i) {
+            Json other = inputs[i].doc;
+            normalizeToUnsharded(other);
+            if (other.dump() != first_dump) {
+                err = strfmt("conflict: complete reports %s and %s differ "
+                             "outside their shard spec — runs are not "
+                             "deterministic across these machines",
+                             inputs.front().path.c_str(),
+                             inputs[i].path.c_str());
+                return false;
+            }
+        }
+        out.needsReplay = false;
+        out.merged = std::move(first);
+        out.cells = Json::object();
+        return true;
+    }
+
+    out.needsReplay = true;
+    out.merged = Json();
+    out.cells = Json::object();
+    for (const auto &kv : merged)
+        out.cells[std::to_string(kv.first)] = *kv.second.payload;
+    return true;
+}
+
+namespace
+{
+
+const char *
+typeName(Json::Type t)
+{
+    switch (t) {
+        case Json::Type::Null: return "null";
+        case Json::Type::Bool: return "bool";
+        case Json::Type::Int: return "number";
+        case Json::Type::Double: return "number";
+        case Json::Type::String: return "string";
+        case Json::Type::Array: return "array";
+        case Json::Type::Object: return "object";
+    }
+    return "?";
+}
+
+bool
+isNumber(const Json &j)
+{
+    return j.type() == Json::Type::Int || j.type() == Json::Type::Double;
+}
+
+struct DiffWalker
+{
+    const DiffOptions &opts;
+    std::vector<std::string> out;
+    bool truncated = false;
+
+    bool
+    full()
+    {
+        if (out.size() >= opts.maxDiffs) {
+            if (!truncated) {
+                truncated = true;
+                out.push_back("... (diff list truncated)");
+            }
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    ignored(const std::string &path) const
+    {
+        return std::find(opts.ignorePaths.begin(), opts.ignorePaths.end(),
+                         path) != opts.ignorePaths.end();
+    }
+
+    static std::string
+    join(const std::string &path, const std::string &key)
+    {
+        return path.empty() ? key : path + "." + key;
+    }
+
+    void
+    report(const std::string &path, const std::string &msg)
+    {
+        if (!full())
+            out.push_back((path.empty() ? "(root)" : path) + ": " + msg);
+    }
+
+    void
+    compare(const Json &a, const Json &b, const std::string &path)
+    {
+        if (full() || ignored(path))
+            return;
+
+        if (isNumber(a) && isNumber(b)) {
+            double x = a.asDouble(), y = b.asDouble();
+            if (x == y)
+                return;
+            double tol = opts.absTol +
+                opts.relTol * std::max(std::fabs(x), std::fabs(y));
+            if (std::fabs(x - y) <= tol)
+                return;
+            report(path, strfmt("%s vs %s",
+                                Json::formatDouble(x).c_str(),
+                                Json::formatDouble(y).c_str()));
+            return;
+        }
+        if (a.type() != b.type()) {
+            report(path, strfmt("type mismatch: %s vs %s",
+                                typeName(a.type()), typeName(b.type())));
+            return;
+        }
+        switch (a.type()) {
+            case Json::Type::Null:
+                return;
+            case Json::Type::Bool:
+                if (a.asBool() != b.asBool())
+                    report(path, strfmt("%s vs %s",
+                                        a.asBool() ? "true" : "false",
+                                        b.asBool() ? "true" : "false"));
+                return;
+            case Json::Type::String:
+                if (a.asString() != b.asString())
+                    report(path, strfmt("\"%s\" vs \"%s\"",
+                                        a.asString().c_str(),
+                                        b.asString().c_str()));
+                return;
+            case Json::Type::Array: {
+                if (a.size() != b.size())
+                    report(path, strfmt("array length %zu vs %zu", a.size(),
+                                        b.size()));
+                std::size_t n = std::min(a.size(), b.size());
+                for (std::size_t i = 0; i < n && !full(); ++i)
+                    compare(a.at(i), b.at(i), join(path, std::to_string(i)));
+                return;
+            }
+            case Json::Type::Object: {
+                for (const auto &kv : a.objectItems()) {
+                    if (full())
+                        return;
+                    std::string child = join(path, kv.first);
+                    if (ignored(child))
+                        continue;
+                    const Json *other = b.find(kv.first);
+                    if (!other)
+                        report(child, "only in first document");
+                    else
+                        compare(kv.second, *other, child);
+                }
+                for (const auto &kv : b.objectItems()) {
+                    if (full())
+                        return;
+                    std::string child = join(path, kv.first);
+                    if (!a.find(kv.first) && !ignored(child))
+                        report(child, "only in second document");
+                }
+                return;
+            }
+            default:
+                return;     // numbers handled above
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::string>
+structuralDiff(const Json &a, const Json &b, const DiffOptions &opts)
+{
+    DiffWalker walker{opts, {}, false};
+    walker.compare(a, b, "");
+    return walker.out;
+}
+
+} // namespace bh

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Result-aggregation subsystem for sharded bh_bench runs.
+ *
+ * Every BENCH_*.json carries a run manifest (experiment, scale, shard
+ * spec, cell counts, a grid fingerprint, and a digest per recorded sweep
+ * cell). This module loads such reports, validates their manifests,
+ * merges the per-cell payloads of N shards by global cell index with
+ * cross-shard conflict detection — overlapping cells must be
+ * byte-identical, edited cells fail their digest — and provides the
+ * structural diff (with per-field numeric tolerance) used for golden-file
+ * CI gating via the bh_collect CLI.
+ *
+ * The library is simulation-free: reconstructing a full report from
+ * merged cells (replay) needs the experiment registry and lives in
+ * bh_collect; everything here operates on JSON documents alone.
+ */
+
+#ifndef BH_REPORT_REPORT_HH
+#define BH_REPORT_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace bh
+{
+
+/** Version stamped into (and required of) every run manifest. */
+constexpr int kBenchFormatVersion = 1;
+
+/** FNV-1a 64-bit hash, the digest/fingerprint primitive. */
+std::uint64_t fnv1a64(const std::string &data,
+                      std::uint64_t seed = 1469598103934665603ull);
+
+/** Fixed-width lowercase hex encoding of a 64-bit hash. */
+std::string hex64(std::uint64_t value);
+
+/** Parsed run manifest of one BENCH_*.json. */
+struct RunManifest
+{
+    int formatVersion = kBenchFormatVersion;
+    std::string experiment;
+    double scale = 1.0;
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+    bool partial = false;           ///< cells only, aggregation skipped
+    std::uint64_t cellTotal = 0;    ///< grid size of the full experiment
+    std::uint64_t cellsRun = 0;     ///< cells recorded in this file
+    std::string fingerprint;        ///< grid identity hash (hex)
+
+    struct Phase
+    {
+        std::string label;
+        std::uint64_t firstCell = 0;
+        std::uint64_t count = 0;
+    };
+    std::vector<Phase> phases;
+
+    /** Phase label owning a global cell index ("?" when out of range). */
+    std::string phaseOf(std::uint64_t cell) const;
+};
+
+/** One loaded BENCH_*.json: raw document plus its parsed manifest. */
+struct LoadedReport
+{
+    std::string path;   ///< diagnostics label (file path or test name)
+    Json doc;
+    RunManifest manifest;
+};
+
+/** Extract and validate the manifest of a parsed report document. */
+bool parseManifest(const Json &doc, RunManifest &out, std::string &err);
+
+/** Parse report text (label names it in errors) and its manifest. */
+bool loadReportText(const std::string &text, const std::string &label,
+                    LoadedReport &out, std::string &err);
+
+/** Read, parse, and manifest-validate one report file. */
+bool loadReportFile(const std::string &path, LoadedReport &out,
+                    std::string &err);
+
+/** Outcome of merging N shard reports of one experiment. */
+struct MergeResult
+{
+    /**
+     * True when the inputs are partial shard outputs: `cells` holds the
+     * complete merged cell payloads and the caller must replay the
+     * experiment's aggregation over them (bh_collect does this through
+     * the bench registry). False when every input is a complete report:
+     * `merged` is ready to write as-is.
+     */
+    bool needsReplay = false;
+    Json merged;            ///< complete normalized report (!needsReplay)
+    Json cells;             ///< merged cells, keys ascending (needsReplay)
+    RunManifest manifest;   ///< validated common manifest of the inputs
+};
+
+/**
+ * Validate and merge shard reports:
+ *  - manifests must agree on format version, experiment, scale, grid
+ *    fingerprint, and cell total;
+ *  - each input's cells must be owned by its shard spec and match their
+ *    manifest digests (an edited cell fails loudly, naming the cell);
+ *  - cells present in several inputs must be byte-identical
+ *    (cross-machine determinism check);
+ *  - the union must cover every cell of the grid.
+ *
+ * Returns false with a diagnostic in `err` on any violation.
+ */
+bool mergeReports(const std::vector<LoadedReport> &inputs, MergeResult &out,
+                  std::string &err);
+
+/**
+ * Rewrite a complete report's manifest shard spec to the canonical
+ * unsharded form (shard 0/1), making complete shard outputs of cell-free
+ * experiments byte-comparable to an unsharded run.
+ */
+void normalizeToUnsharded(Json &doc);
+
+/** Options for the structural diff. */
+struct DiffOptions
+{
+    double absTol = 0.0;        ///< absolute tolerance for numeric fields
+    double relTol = 0.0;        ///< relative tolerance for numeric fields
+    std::vector<std::string> ignorePaths;   ///< subtrees to skip (dotted)
+    std::size_t maxDiffs = 1000;            ///< stop reporting after this
+};
+
+/**
+ * Structural diff of two JSON documents. Objects compare by key (order
+ * ignored), arrays by index, numbers within absTol/relTol (Int and
+ * Double interchangeable), everything else exactly. Returns one
+ * human-readable "path: difference" line per mismatch, empty when the
+ * documents agree within tolerance.
+ */
+std::vector<std::string> structuralDiff(const Json &a, const Json &b,
+                                        const DiffOptions &opts);
+
+} // namespace bh
+
+#endif // BH_REPORT_REPORT_HH

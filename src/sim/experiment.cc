@@ -166,7 +166,13 @@ metricsAgainstAlone(const ExperimentConfig &config, const MixSpec &mix,
         shared.push_back(result.ipc[t]);
         alone.push_back(aloneIpc(config, mix.apps[t]));
     }
-    return computeMetrics(shared, alone);
+    // The window resolves at best one retired instruction per runCycles:
+    // clamp to that floor so memory-bound apps that round to 0 IPC in
+    // short (low --scale) windows contribute a bounded slowdown instead
+    // of a degenerate-IPC warning.
+    double min_ipc = config.runCycles > 0
+        ? 1.0 / static_cast<double>(config.runCycles) : 0.0;
+    return computeMetrics(shared, alone, min_ipc);
 }
 
 } // namespace bh

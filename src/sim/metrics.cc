@@ -10,7 +10,7 @@ namespace bh
 
 MultiProgMetrics
 computeMetrics(const std::vector<double> &shared_ipc,
-               const std::vector<double> &alone_ipc)
+               const std::vector<double> &alone_ipc, double min_ipc)
 {
     if (shared_ipc.size() != alone_ipc.size())
         panic("metric vectors differ in length");
@@ -20,8 +20,8 @@ computeMetrics(const std::vector<double> &shared_ipc,
     MultiProgMetrics m;
     double hs_denom = 0.0;
     for (std::size_t i = 0; i < shared_ipc.size(); ++i) {
-        double alone = alone_ipc[i];
-        double shared = shared_ipc[i];
+        double alone = std::max(alone_ipc[i], min_ipc);
+        double shared = std::max(shared_ipc[i], min_ipc);
         if (alone <= 0.0 || shared <= 0.0) {
             warn("degenerate IPC in metrics (alone=%f shared=%f)",
                  alone, shared);

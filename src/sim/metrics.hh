@@ -25,9 +25,18 @@ struct MultiProgMetrics
  * Compute metrics from per-thread IPCs in the shared run and each thread's
  * IPC when running alone on the baseline system. Vectors must be the same
  * length (benign threads only).
+ *
+ * `min_ipc` is the smallest IPC the measurement window can resolve (one
+ * retired instruction per window). A memory-bound thread that retires
+ * nothing in a short window measures IPC 0, which used to make its
+ * speedup/slowdown terms degenerate; clamping both IPCs to the window
+ * resolution bounds the slowdown at what the window could observe
+ * instead of dropping the thread. Pass 0 to keep the legacy behavior
+ * (warn and skip degenerate threads).
  */
 MultiProgMetrics computeMetrics(const std::vector<double> &shared_ipc,
-                                const std::vector<double> &alone_ipc);
+                                const std::vector<double> &alone_ipc,
+                                double min_ipc = 0.0);
 
 /** Geometric mean helper for normalized comparisons. */
 double geomean(const std::vector<double> &values);

@@ -63,6 +63,11 @@ class Runner
     /**
      * Deterministic per-cell seed: a SplitMix64-style mix of the base
      * seed and the cell index. Stable across platforms and job counts.
+     *
+     * The bench layer folds this function into every run manifest's
+     * grid fingerprint (see runBench), so changing the mix makes
+     * bh_collect refuse to merge shards produced by older binaries
+     * instead of silently combining differently-seeded cells.
      */
     static std::uint64_t cellSeed(std::uint64_t base, std::uint64_t cell);
 

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the sharded-run aggregation subsystem:
+ *
+ *  - shard partition: every global cell index is owned by exactly one
+ *    shard for any shard count;
+ *  - run manifests round-trip through serialization and validate;
+ *  - merging k shards of a cell experiment and replaying its
+ *    aggregation reproduces the unsharded report byte for byte;
+ *  - a corrupted (hand-edited) cell fails the merge with a conflict
+ *    naming the cell, as do overlapping cells that disagree, missing
+ *    shards, and mismatched grids;
+ *  - complete (cell-free) shard outputs pass through with a
+ *    determinism cross-check;
+ *  - the structural diff honors absolute/relative tolerance and
+ *    ignored subtrees.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/registry.hh"
+#include "report/report.hh"
+#include "sim/runner.hh"
+
+namespace bh
+{
+namespace
+{
+
+TEST(Shard, EveryCellOwnedExactlyOnce)
+{
+    for (unsigned count : {1u, 2u, 3u, 7u, 16u}) {
+        for (std::uint64_t cell = 0; cell < 200; ++cell) {
+            unsigned owners = 0;
+            for (unsigned i = 0; i < count; ++i)
+                owners += shardOwns(ShardSpec{i, count}, cell);
+            EXPECT_EQ(owners, 1u) << "cell " << cell << " of " << count;
+        }
+    }
+}
+
+/** Run one experiment in the given mode/shard, stdout suppressed. */
+Json
+runMode(const char *name, double scale, BenchContext::CellMode mode,
+        ShardSpec shard = {}, const Json *replay = nullptr)
+{
+    const BenchInfo *info = findBench(name);
+    EXPECT_NE(info, nullptr) << name;
+    Runner pool(2);
+    BenchContext ctx;
+    ctx.scale = scale;
+    ctx.runner = &pool;
+    ctx.mode = mode;
+    ctx.shard = shard;
+    ctx.replayCells = replay;
+    testing::internal::CaptureStdout();
+    runBench(*info, ctx);
+    testing::internal::GetCapturedStdout();
+    return ctx.result;
+}
+
+/** Serialize a result and load it back as a report (exercise parsing). */
+LoadedReport
+asReport(const Json &doc, const std::string &label)
+{
+    LoadedReport report;
+    std::string err;
+    EXPECT_TRUE(loadReportText(doc.dump(2) + "\n", label, report, err))
+        << err;
+    return report;
+}
+
+TEST(Manifest, StampedAndRoundTrips)
+{
+    Json doc = runMode("sec321", 0.1, BenchContext::CellMode::Run);
+    LoadedReport report = asReport(doc, "unsharded");
+    const RunManifest &m = report.manifest;
+    EXPECT_EQ(m.experiment, "sec321");
+    EXPECT_EQ(m.scale, 0.1);
+    EXPECT_EQ(m.shardIndex, 0u);
+    EXPECT_EQ(m.shardCount, 1u);
+    EXPECT_FALSE(m.partial);
+    EXPECT_EQ(m.cellTotal, 2u);     // 1 mix x {observe, full} at 0.1x
+    EXPECT_EQ(m.cellsRun, 2u);
+    EXPECT_EQ(m.phases.size(), 2u);
+    EXPECT_EQ(m.phases[0].label, "observe");
+    EXPECT_EQ(m.phases[1].label, "full");
+    EXPECT_EQ(m.phaseOf(0), "observe");
+    EXPECT_EQ(m.phaseOf(1), "full");
+    EXPECT_EQ(m.fingerprint.size(), 16u);
+}
+
+TEST(Manifest, EnumerateCountsWithoutSimulating)
+{
+    const BenchInfo *info = findBench("fig5");
+    ASSERT_NE(info, nullptr);
+    BenchContext ctx;
+    ctx.scale = 1.0;
+    ctx.mode = BenchContext::CellMode::Enumerate;
+    Runner pool(1);
+    ctx.runner = &pool;
+    runBench(*info, ctx);
+    // 3 mixes x (1 baseline + 7 mechanisms) x 2 scenarios at scale 1.
+    EXPECT_EQ(ctx.nextCell, 48u);
+    EXPECT_EQ(ctx.cellsRun, 0u);
+    EXPECT_EQ(ctx.phases.size(), 2u);
+}
+
+TEST(Merge, ThreeShardsReplayByteIdenticalToUnsharded)
+{
+    const double scale = 0.1;
+    Json unsharded = runMode("sec321", scale, BenchContext::CellMode::Run);
+
+    std::vector<LoadedReport> shards;
+    for (unsigned i = 0; i < 3; ++i) {
+        Json doc = runMode("sec321", scale, BenchContext::CellMode::Run,
+                           ShardSpec{i, 3});
+        const Json *partial = doc.find("manifest")->find("partial");
+        ASSERT_NE(partial, nullptr);
+        EXPECT_TRUE(partial->asBool());
+        // Sharded partial outputs must not contain aggregate fields.
+        EXPECT_EQ(doc.find("observe_only"), nullptr);
+        shards.push_back(asReport(doc, "shard" + std::to_string(i)));
+    }
+
+    MergeResult merge;
+    std::string err;
+    ASSERT_TRUE(mergeReports(shards, merge, err)) << err;
+    ASSERT_TRUE(merge.needsReplay);
+
+    Json replayed = runMode("sec321", scale, BenchContext::CellMode::Replay,
+                            ShardSpec{}, &merge.cells);
+    EXPECT_EQ(replayed.dump(2), unsharded.dump(2));
+}
+
+TEST(Merge, DuplicateShardsAreDeduplicatedDeterministically)
+{
+    const double scale = 0.1;
+    // The same shard run "on two machines" plus the rest of the grid.
+    std::vector<LoadedReport> shards;
+    for (unsigned i : {0u, 0u, 1u, 2u}) {
+        Json doc = runMode("sec321", scale, BenchContext::CellMode::Run,
+                           ShardSpec{i, 3});
+        shards.push_back(asReport(doc, "dup" + std::to_string(i)));
+    }
+    MergeResult merge;
+    std::string err;
+    EXPECT_TRUE(mergeReports(shards, merge, err)) << err;
+}
+
+TEST(Merge, CorruptedCellFailsNamingTheCell)
+{
+    const double scale = 0.1;
+    std::vector<LoadedReport> shards;
+    for (unsigned i = 0; i < 3; ++i) {
+        Json doc = runMode("sec321", scale, BenchContext::CellMode::Run,
+                           ShardSpec{i, 3});
+        if (i == 1) {
+            // Hand-edit the payload of cell 1 (owned by shard 1) without
+            // touching its digest.
+            doc["cells"]["1"]["attack"] = Json::array().push(99.0);
+        }
+        shards.push_back(asReport(doc, "shard" + std::to_string(i)));
+    }
+    MergeResult merge;
+    std::string err;
+    EXPECT_FALSE(mergeReports(shards, merge, err));
+    EXPECT_NE(err.find("cell 1"), std::string::npos) << err;
+    EXPECT_NE(err.find("shard1"), std::string::npos) << err;
+}
+
+TEST(Merge, OverlappingCellsMustBeByteIdentical)
+{
+    const double scale = 0.1;
+    Json a = runMode("sec321", scale, BenchContext::CellMode::Run,
+                     ShardSpec{1, 3});
+    Json b = runMode("sec321", scale, BenchContext::CellMode::Run,
+                     ShardSpec{1, 3});
+    // Simulate cross-machine nondeterminism: edit the overlapping cell
+    // AND fix its digest so only the overlap comparison can catch it.
+    b["cells"]["1"]["attack"] = Json::array().push(99.0);
+    b["manifest"]["cell_digests"]["1"] =
+        hex64(fnv1a64(b["cells"]["1"].dump()));
+
+    Json rest0 = runMode("sec321", scale, BenchContext::CellMode::Run,
+                         ShardSpec{0, 3});
+    Json rest2 = runMode("sec321", scale, BenchContext::CellMode::Run,
+                         ShardSpec{2, 3});
+    std::vector<LoadedReport> shards;
+    shards.push_back(asReport(a, "machineA"));
+    shards.push_back(asReport(b, "machineB"));
+    shards.push_back(asReport(rest0, "shard0"));
+    shards.push_back(asReport(rest2, "shard2"));
+    MergeResult merge;
+    std::string err;
+    EXPECT_FALSE(mergeReports(shards, merge, err));
+    EXPECT_NE(err.find("cell 1"), std::string::npos) << err;
+    EXPECT_NE(err.find("machineA"), std::string::npos) << err;
+    EXPECT_NE(err.find("machineB"), std::string::npos) << err;
+}
+
+TEST(Merge, MissingShardFailsWithCoverageError)
+{
+    Json doc = runMode("sec321", 0.1, BenchContext::CellMode::Run,
+                       ShardSpec{0, 3});
+    std::vector<LoadedReport> shards{asReport(doc, "shard0")};
+    MergeResult merge;
+    std::string err;
+    EXPECT_FALSE(mergeReports(shards, merge, err));
+    EXPECT_NE(err.find("missing"), std::string::npos) << err;
+}
+
+TEST(Merge, MismatchedGridsRefuseToMerge)
+{
+    Json a = runMode("sec321", 0.1, BenchContext::CellMode::Run,
+                     ShardSpec{0, 2});
+    Json b = runMode("sec321", 0.1, BenchContext::CellMode::Run,
+                     ShardSpec{1, 2});
+    b["manifest"]["fingerprint"] = "0000000000000000";
+    std::vector<LoadedReport> shards{asReport(a, "a"), asReport(b, "b")};
+    MergeResult merge;
+    std::string err;
+    EXPECT_FALSE(mergeReports(shards, merge, err));
+    EXPECT_NE(err.find("fingerprint"), std::string::npos) << err;
+}
+
+TEST(Merge, CompleteCellFreeShardsPassThrough)
+{
+    // table1 is analytic: every shard computes the complete report, and
+    // the merge is a determinism cross-check plus normalization.
+    Json unsharded = runMode("table1", 1.0, BenchContext::CellMode::Run);
+    Json s0 = runMode("table1", 1.0, BenchContext::CellMode::Run,
+                      ShardSpec{0, 2});
+    Json s1 = runMode("table1", 1.0, BenchContext::CellMode::Run,
+                      ShardSpec{1, 2});
+    EXPECT_FALSE(s0.find("manifest")->find("partial")->asBool());
+
+    std::vector<LoadedReport> shards{asReport(s0, "s0"), asReport(s1, "s1")};
+    MergeResult merge;
+    std::string err;
+    ASSERT_TRUE(mergeReports(shards, merge, err)) << err;
+    EXPECT_FALSE(merge.needsReplay);
+    EXPECT_EQ(merge.merged.dump(2), unsharded.dump(2));
+
+    // A diverging complete report is a determinism failure.
+    Json tampered = s1;
+    tampered["params"]["N_RH"] = 12345;
+    std::vector<LoadedReport> bad{asReport(s0, "s0"),
+                                  asReport(tampered, "s1-tampered")};
+    EXPECT_FALSE(mergeReports(bad, merge, err));
+    EXPECT_NE(err.find("deterministic"), std::string::npos) << err;
+}
+
+TEST(Diff, NumericToleranceAndIgnores)
+{
+    Json a = Json::object();
+    a["x"] = 1.0;
+    a["arr"] = Json::array().push(1).push(2.0);
+    a["s"] = "same";
+    a["skip"] = Json::object();
+    a["skip"]["noise"] = 1.0;
+    Json b = Json::object();
+    b["x"] = 1.0 + 1e-9;
+    b["arr"] = Json::array().push(1).push(2.0);
+    b["s"] = "same";
+    b["skip"] = Json::object();
+    b["skip"]["noise"] = 2.0;
+
+    DiffOptions exact;
+    std::vector<std::string> diffs = structuralDiff(a, b, exact);
+    EXPECT_EQ(diffs.size(), 2u);    // x drift + skip.noise
+
+    DiffOptions tol;
+    tol.relTol = 1e-6;
+    tol.ignorePaths = {"skip"};
+    EXPECT_TRUE(structuralDiff(a, b, tol).empty());
+
+    DiffOptions abs_only;
+    abs_only.absTol = 1e-6;
+    abs_only.ignorePaths = {"skip.noise"};
+    EXPECT_TRUE(structuralDiff(a, b, abs_only).empty());
+}
+
+TEST(Diff, StructuralMismatchesAreReported)
+{
+    Json a = Json::object();
+    a["only_a"] = 1;
+    a["t"] = "str";
+    a["arr"] = Json::array().push(1).push(2);
+    Json b = Json::object();
+    b["t"] = 5;
+    b["arr"] = Json::array().push(1);
+    b["only_b"] = true;
+
+    std::vector<std::string> diffs = structuralDiff(a, b, DiffOptions{});
+    ASSERT_EQ(diffs.size(), 4u);
+    EXPECT_NE(diffs[0].find("only in first"), std::string::npos);
+    EXPECT_NE(diffs[1].find("type mismatch"), std::string::npos);
+    EXPECT_NE(diffs[2].find("array length"), std::string::npos);
+    EXPECT_NE(diffs[3].find("only in second"), std::string::npos);
+
+    // Int vs Double of equal value is not a difference.
+    Json c = Json::object();
+    c["v"] = 2;
+    Json d = Json::object();
+    d["v"] = 2.0;
+    EXPECT_TRUE(structuralDiff(c, d, DiffOptions{}).empty());
+}
+
+} // namespace
+} // namespace bh
