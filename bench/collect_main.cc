@@ -17,7 +17,9 @@
  * golden JSON.
  */
 
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -33,6 +35,7 @@ usage(std::FILE *out)
     std::fprintf(out,
         "usage: bh_collect merge [options] BENCH_*.json...\n"
         "       bh_collect diff [options] A.json B.json\n"
+        "       bh_collect status PATH...\n"
         "\n"
         "merge: validate and combine N sharded bh_bench outputs of one\n"
         "experiment into a report byte-identical to an unsharded run.\n"
@@ -47,7 +50,12 @@ usage(std::FILE *out)
         "  --abs-tol X      absolute tolerance for numeric fields\n"
         "  --rel-tol X      relative tolerance for numeric fields\n"
         "  --ignore PATH    skip a dotted subtree (repeatable), e.g.\n"
-        "                   --ignore manifest.cell_digests\n");
+        "                   --ignore manifest.cell_digests\n"
+        "\n"
+        "status: scan files and directory trees for BENCH_*.json shard\n"
+        "outputs and report, per experiment grid, which shards exist and\n"
+        "which sweep cells are still missing. Exits 0 when every grid is\n"
+        "fully covered, 1 when cells are missing, 2 on IO errors.\n");
 }
 
 int
@@ -162,6 +170,95 @@ cmdMerge(const std::vector<std::string> &args)
 }
 
 int
+cmdStatus(const std::vector<std::string> &args)
+{
+    using namespace bh;
+    namespace fs = std::filesystem;
+
+    // Expand directory arguments into the BENCH_*.json files they hold.
+    std::vector<std::string> files;
+    for (const std::string &arg : args) {
+        if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "bh_collect status: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        }
+        std::error_code ec;
+        if (fs::is_directory(arg, ec)) {
+            // Non-throwing iteration: an unreadable subtree is an IO
+            // error (exit 2), never a crash or a silently shorter scan —
+            // under-reporting is the one failure a coverage tool must
+            // not have.
+            auto it = fs::recursive_directory_iterator(arg, ec);
+            for (; !ec && it != fs::recursive_directory_iterator();
+                 it.increment(ec)) {
+                std::error_code type_ec;
+                if (!it->is_regular_file(type_ec) || type_ec)
+                    continue;
+                std::string name = it->path().filename().string();
+                if (name.rfind("BENCH_", 0) == 0 &&
+                    name.size() > 5 &&
+                    name.compare(name.size() - 5, 5, ".json") == 0)
+                    files.push_back(it->path().string());
+            }
+            if (ec) {
+                std::fprintf(stderr,
+                             "bh_collect status: error scanning %s: %s\n",
+                             arg.c_str(), ec.message().c_str());
+                return 2;
+            }
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "bh_collect status: no BENCH_*.json inputs found\n");
+        return 2;
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<LoadedReport> inputs;
+    std::string err;
+    for (const std::string &file : files) {
+        LoadedReport report;
+        if (!loadReportFile(file, report, err)) {
+            std::fprintf(stderr, "bh_collect: %s\n", err.c_str());
+            return 2;
+        }
+        inputs.push_back(std::move(report));
+    }
+
+    bool all_complete = true;
+    std::printf("%-14s %8s %10s %12s  %s\n", "experiment", "scale",
+                "shards", "cells", "status");
+    for (const GridStatus &g : gridStatus(inputs)) {
+        std::string shard_list;
+        for (const std::string &s : g.shards)
+            shard_list += (shard_list.empty() ? "" : ",") + s;
+        std::printf("%-14s %8s %10s %6llu/%-5llu  %s\n",
+                    g.experiment.c_str(),
+                    Json::formatDouble(g.scale).c_str(),
+                    shard_list.c_str(),
+                    static_cast<unsigned long long>(g.cellsCovered),
+                    static_cast<unsigned long long>(g.cellTotal),
+                    g.complete() ? "complete" : "INCOMPLETE");
+        if (!g.complete()) {
+            all_complete = false;
+            std::string missing;
+            for (std::uint64_t c : g.missingCells)
+                missing += (missing.empty() ? "" : " ") + std::to_string(c);
+            bool truncated = g.missingCells.size() ==
+                GridStatus::kMaxListedMissing &&
+                g.cellsCovered + g.missingCells.size() < g.cellTotal;
+            std::printf("  missing cells: %s%s\n", missing.c_str(),
+                        truncated ? " ..." : "");
+        }
+    }
+    return all_complete ? 0 : 1;
+}
+
+int
 cmdDiff(const std::vector<std::string> &args)
 {
     using namespace bh;
@@ -246,6 +343,8 @@ main(int argc, char **argv)
         return cmdMerge(args);
     if (cmd == "diff")
         return cmdDiff(args);
+    if (cmd == "status")
+        return cmdStatus(args);
     std::fprintf(stderr, "bh_collect: unknown command '%s'\n", cmd.c_str());
     usage(stderr);
     return 2;

@@ -40,7 +40,13 @@ usage(std::FILE *out)
         "                at the current --scale, and exit\n"
         "  --jobs N      worker threads for sweep cells (default: all cores)\n"
         "  --scale X     fidelity multiplier >= 0.1 (default: BH_SCALE or 1)\n"
+        "                scale > 1 also widens tREFW/N_RH toward paper\n"
+        "                values: tREFW = min(scale, 64) ms (see DESIGN.md)\n"
         "  --fast        shorthand for --scale 0.1 (CI smoke runs)\n"
+        "  --skip MODE   simulation time advance: on (event skipping,\n"
+        "                default), off (cycle by cycle), or verify\n"
+        "                (cycle by cycle, asserting every skip claim);\n"
+        "                results are identical in all three modes\n"
         "  --shard I/N   run only the sweep cells shard I of N owns and\n"
         "                write partial reports for bh_collect merge\n"
         "  --out DIR     directory for the JSON outputs (default: .)\n"
@@ -59,6 +65,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;      // 0 = hardware concurrency
     std::string out_dir = ".";
     ShardSpec shard;
+    SkipMode skip = SkipMode::kEventSkip;
     bool list = false;
     std::vector<std::string> names;
 
@@ -85,6 +92,16 @@ main(int argc, char **argv)
                 fatal("--scale must be >= 0.1");
         } else if (!std::strcmp(arg, "--fast")) {
             scale = 0.1;
+        } else if (!std::strcmp(arg, "--skip")) {
+            const char *mode = value();
+            if (!std::strcmp(mode, "on"))
+                skip = SkipMode::kEventSkip;
+            else if (!std::strcmp(mode, "off"))
+                skip = SkipMode::kCycleByCycle;
+            else if (!std::strcmp(mode, "verify"))
+                skip = SkipMode::kVerify;
+            else
+                fatal("--skip wants on, off, or verify, got '%s'", mode);
         } else if (!std::strcmp(arg, "--shard")) {
             const char *spec = value();
             unsigned idx = 0, count = 0;
@@ -159,6 +176,7 @@ main(int argc, char **argv)
         ctx.scale = scale;
         ctx.runner = &runner;
         ctx.shard = shard;
+        ctx.skip = skip;
 
         auto t0 = std::chrono::steady_clock::now();
         runBench(*info, ctx);

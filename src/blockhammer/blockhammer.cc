@@ -1,5 +1,7 @@
 #include "blockhammer/blockhammer.hh"
 
+#include <algorithm>
+
 namespace bh
 {
 
@@ -58,10 +60,43 @@ BlockHammer::onActivate(unsigned bank, RowId row, ThreadId thread, Cycle now)
 void
 BlockHammer::tick(Cycle now)
 {
+    unsafeAtTickStart = numUnsafe;
+    unsafeDeltaLatched = false;
     if (blocker.clockTick(now)) {
         throttler.onEpochBoundary();
         shadow.onEpochBoundary();
     }
+}
+
+Cycle
+BlockHammer::nextHousekeepingAt(Cycle) const
+{
+    return blocker.nextBoundaryAt();
+}
+
+Cycle
+BlockHammer::nextVerdictChangeAt(Cycle) const
+{
+    // A refused row can only become safe again when its history entry
+    // ages out or the epoch clear empties the blacklist. The buffer's
+    // earliest expiry is a conservative lower bound for any entry's.
+    return std::min(blocker.nextBoundaryAt(),
+                    blocker.historyBuffer().nextExpiryAt());
+}
+
+void
+BlockHammer::noteSkippedTicks(std::uint64_t n)
+{
+    // Each eliminated idle tick would have re-issued the same safety
+    // queries as the last executed tick and gotten the same verdicts
+    // (delay bookkeeping is first-refusal-only, so only the counter
+    // needs replaying). The per-tick delta is latched at the first
+    // replay so repeated replays of one executed tick stay linear.
+    if (!unsafeDeltaLatched) {
+        unsafeTickDelta = numUnsafe - unsafeAtTickStart;
+        unsafeDeltaLatched = true;
+    }
+    numUnsafe += unsafeTickDelta * n;
 }
 
 int

@@ -34,6 +34,9 @@ class BlockHammer : public Mitigation
     void onActivate(unsigned bank, RowId row, ThreadId thread,
                     Cycle now) override;
     void tick(Cycle now) override;
+    Cycle nextHousekeepingAt(Cycle now) const override;
+    Cycle nextVerdictChangeAt(Cycle now) const override;
+    void noteSkippedTicks(std::uint64_t n) override;
     int quota(ThreadId thread, unsigned bank) const override;
 
     /** RHLI of <thread, bank> — the OS-facing interface (Section 3.2.3). */
@@ -116,6 +119,9 @@ class BlockHammer : public Mitigation
     std::uint64_t numDelayedActs = 0;
     std::uint64_t numFalsePos = 0;
     std::uint64_t numUnsafe = 0;
+    std::uint64_t unsafeAtTickStart = 0;    ///< snapshot for skip replay
+    std::uint64_t unsafeTickDelta = 0;      ///< latched per-tick query count
+    bool unsafeDeltaLatched = false;
     Histogram delayHist;
     Histogram fpHist;
 };

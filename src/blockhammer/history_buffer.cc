@@ -22,8 +22,9 @@ HistoryBuffer::insert(std::uint64_t row_key, Cycle now)
         panic("history buffer overflow: %u entries cannot hold tDelay=%lld "
               "window", capacity(), static_cast<long long>(tDelay));
     }
-    slots[tail] = Slot{row_key, now, true};
-    tail = (tail + 1) % slots.size();
+    slots[tail] = Slot{row_key, now};
+    if (++tail == slots.size())
+        tail = 0;
     ++numValid;
     ++members[row_key];
 }
@@ -35,13 +36,21 @@ HistoryBuffer::expire(Cycle now)
         Slot &oldest = slots[head];
         if (now - oldest.timestamp < tDelay)
             break;
-        oldest.valid = false;
         auto it = members.find(oldest.key);
         if (it != members.end() && --it->second == 0)
             members.erase(it);
-        head = (head + 1) % slots.size();
+        if (++head == slots.size())
+            head = 0;
         --numValid;
     }
+}
+
+Cycle
+HistoryBuffer::nextExpiryAt() const
+{
+    if (numValid == 0)
+        return kNoEventCycle;
+    return slots[head].timestamp + tDelay;
 }
 
 bool

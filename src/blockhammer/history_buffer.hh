@@ -2,9 +2,9 @@
  * @file
  * RowBlocker-HB: per-rank row-activation history buffer (Section 3.1.2).
  *
- * A circular queue of (row key, timestamp, valid) records covering the
- * last tDelay window. Modeled after the hardware CAM: lookups compare the
- * queried key against every valid entry; the oldest entry is invalidated
+ * A circular queue of (row key, timestamp) records covering the last
+ * tDelay window. Modeled after the hardware CAM: lookups compare the
+ * queried key against every live entry; the oldest entry is dropped
  * once it ages past tDelay. The buffer is sized for the worst case
  * ceil(4 * tDelay / tFAW) activations a rank can perform in a tDelay
  * window, and the implementation panics on overflow — continuously
@@ -39,6 +39,13 @@ class HistoryBuffer
     /** Expire entries older than tDelay. Called before queries. */
     void expire(Cycle now);
 
+    /**
+     * Cycle at which the oldest live entry ages out of the window (the
+     * earliest future point any recentlyActivated() answer can flip to
+     * false), or kNoEventCycle when the buffer is empty.
+     */
+    Cycle nextExpiryAt() const;
+
     /** Was `row_key` activated within the last tDelay window? */
     bool recentlyActivated(std::uint64_t row_key, Cycle now);
 
@@ -47,11 +54,15 @@ class HistoryBuffer
     Cycle delayWindow() const { return tDelay; }
 
   private:
+    /**
+     * One CAM record. Validity is positional — `numValid` entries
+     * starting at `head` are live — so no per-slot flag is needed (the
+     * hardware's valid bit maps to the occupancy bookkeeping here).
+     */
     struct Slot
     {
         std::uint64_t key = 0;
         Cycle timestamp = 0;
-        bool valid = false;
     };
 
     std::vector<Slot> slots;

@@ -35,6 +35,9 @@ class DualCbf
     /** Insert a key into both filters. */
     void insert(std::uint64_t key);
 
+    /** Number of insertions so far (cache-invalidation stamp). */
+    std::uint64_t insertCount() const { return inserts; }
+
     /** Query the active filter's count for the key. */
     std::uint32_t activeCount(std::uint64_t key) const;
 
@@ -69,6 +72,7 @@ class DualCbf
   private:
     Cycle epochLen;
     std::uint64_t epoch = 0;
+    std::uint64_t inserts = 0;
     unsigned active = 0;
     Rng seeder;
     CountingBloomFilter filters[2];

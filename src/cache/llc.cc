@@ -41,13 +41,13 @@ Llc::access(Addr addr, bool is_write, ThreadId thread, Cycle now,
 
     Addr line = lineAddr(addr);
     auto &tstats = threadStatsMutable(thread);
-    ++tstats.accesses;
 
     if (Line *l = findLine(line)) {
         l->lastUse = ++useCounter;
         if (is_write)
             l->dirty = true;
         ++numHits;
+        ++tstats.accesses;
         if (on_done)
             on_done(now + cfg.hitLatency);
         return LlcResult::kHit;
@@ -59,12 +59,15 @@ Llc::access(Addr addr, bool is_write, ThreadId thread, Cycle now,
             it->second.waiters.push_back(std::move(on_done));
         it->second.writeIntent |= is_write;
         ++numMisses;
+        ++tstats.accesses;
         ++tstats.misses;
         return LlcResult::kMiss;
     }
 
     if (mshr.size() >= cfg.mshrs)
         return LlcResult::kReject;
+    if (mem.queueFull(ReqType::kRead))
+        return LlcResult::kReject;  // the fill submit would bounce anyway
 
     Request req;
     req.addr = line * kLineBytes;
@@ -94,6 +97,7 @@ Llc::access(Addr addr, bool is_write, ThreadId thread, Cycle now,
     entry.thread = thread;
     mshr.emplace(line, std::move(entry));
     ++numMisses;
+    ++tstats.accesses;
     ++tstats.misses;
     return LlcResult::kMiss;
 }
@@ -125,6 +129,8 @@ Llc::installLine(Addr line, bool dirty, Cycle now)
 bool
 Llc::issueWriteback(Addr line, Cycle now)
 {
+    if (mem.queueFull(ReqType::kWrite))
+        return false;
     Request wb;
     wb.addr = line * kLineBytes;
     wb.type = ReqType::kWrite;

@@ -37,7 +37,12 @@ enum class LlcResult
     kReject,    ///< resource pressure; retry next cycle
 };
 
-/** Per-thread LLC statistics (drives Table 8's MPKI column). */
+/**
+ * Per-thread LLC statistics (drives Table 8's MPKI column). `accesses`
+ * counts accepted accesses only (hits + misses); rejected attempts that
+ * the core retries are not accesses, so the counters are independent of
+ * how often a stalled core re-polls.
+ */
 struct ThreadLlcStats
 {
     std::uint64_t accesses = 0;

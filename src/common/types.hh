@@ -51,6 +51,12 @@ cyclesToNs(Cycle cycles)
 /** Sentinel for "no thread" (e.g., controller-generated traffic). */
 constexpr ThreadId kNoThread = -1;
 
+/**
+ * Sentinel for "no scheduled event" in nextEventAt()-style queries (far
+ * enough in the future that min() folds treat it as +infinity).
+ */
+constexpr Cycle kNoEventCycle = INT64_MAX;
+
 /** Cache line size in bytes for the entire hierarchy. */
 constexpr unsigned kLineBytes = 64;
 

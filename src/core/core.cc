@@ -1,5 +1,7 @@
 #include "core/core.hh"
 
+#include <algorithm>
+
 namespace bh
 {
 
@@ -15,26 +17,40 @@ Core::tick(Cycle now)
 {
     // Retire in order, up to retireWidth per cycle. A memory instruction at
     // the window head blocks retirement until its data has returned.
-    for (unsigned r = 0; r < cfg.retireWidth; ++r) {
+    // Runs of non-memory instructions retire in one arithmetic step.
+    for (unsigned r = 0; r < cfg.retireWidth;) {
         if (instrRetired >= instrIssued)
             break;
         if (!pending.empty() && pending.front().pos == instrRetired) {
-            Cycle done = *pending.front().doneAt;
+            Cycle done = pending.front().slot->done;
             if (done < 0 || done > now)
                 break;
             pending.pop_front();
+            ++instrRetired;
+            ++r;
+            continue;
         }
-        ++instrRetired;
+        std::uint64_t stop = pending.empty()
+            ? instrIssued : pending.front().pos;
+        std::uint64_t k = std::min<std::uint64_t>(
+            cfg.retireWidth - r, std::min(instrIssued, stop) - instrRetired);
+        instrRetired += k;
+        r += static_cast<unsigned>(k);
     }
 
     // Issue in order, up to issueWidth per cycle, bounded by the window.
+    // Bubble runs issue in one arithmetic step.
     bool stalled = false;
-    for (unsigned w = 0; w < cfg.issueWidth; ++w) {
-        if (instrIssued - instrRetired >= cfg.windowSize)
+    for (unsigned w = 0; w < cfg.issueWidth;) {
+        std::uint64_t room = cfg.windowSize - (instrIssued - instrRetired);
+        if (room == 0)
             break;
         if (pendingBubbles > 0) {
-            --pendingBubbles;
-            ++instrIssued;
+            std::uint64_t k = std::min<std::uint64_t>(
+                {pendingBubbles, cfg.issueWidth - w, room});
+            pendingBubbles -= static_cast<std::uint32_t>(k);
+            instrIssued += k;
+            w += static_cast<unsigned>(k);
             continue;
         }
         if (havePendingMem) {
@@ -44,8 +60,11 @@ Core::tick(Cycle now)
             }
             havePendingMem = false;
             ++instrIssued;
+            ++w;
             continue;
         }
+        if (traceEnded)
+            break;
         TraceEntry entry;
         if (!trace.next(entry)) {
             traceEnded = true;
@@ -56,28 +75,57 @@ Core::tick(Cycle now)
             havePendingMem = true;
             pendingMem = entry;
         }
-        if (pendingBubbles == 0 && !entry.isMem)
-            continue;       // empty record, fetch again next slot
+        ++w;    // the fetch consumes this issue slot
     }
+    lastTickStalled = stalled;
     if (stalled)
         ++numStallCycles;
+}
+
+Cycle
+Core::nextEventAt() const
+{
+    Cycle best = kNoEventCycle;
+    // In-order retirement: only the window head matters. Its completion
+    // time is known once the memory system has issued the access.
+    if (!pending.empty() && pending.front().pos == instrRetired) {
+        Cycle done = pending.front().slot->done;
+        if (done >= 0)
+            best = done;
+    }
+    // A rejected memory issue can also unblock by time alone: the
+    // MSHR-style outstanding bound drops when any in-flight op reaches
+    // its completion time.
+    if (lastTickStalled && !mlp->knownDone.empty())
+        best = std::min(best, mlp->knownDone.top());
+    return best;
 }
 
 bool
 Core::issueMemOp(Cycle now)
 {
     // L1-MSHR-style bound on memory-level parallelism.
-    unsigned outstanding = 0;
-    for (const auto &op : pending)
-        if (*op.doneAt < 0 || *op.doneAt > now)
-            ++outstanding;
-    if (outstanding >= cfg.maxOutstandingMem)
+    if (mlp->outstandingAt(now) >= cfg.maxOutstandingMem)
         return false;
 
-    auto done_at = std::make_shared<Cycle>(-1);
-    auto on_done = [done_at](Cycle done) { *done_at = done; };
+    // Reuse the completion slot across retries of the same rejected op.
+    if (!retrySlot)
+        retrySlot = std::make_shared<MemSlot>();
+    std::shared_ptr<MemSlot> slot = retrySlot;
+    auto on_done = [state = mlp, slot](Cycle done) {
+        slot->done = done;
+        if (slot->counted) {
+            slot->counted = false;
+            --state->unknown;
+        }
+        state->knownDone.push(done);
+    };
 
     if (pendingMem.bypassCache || !llc) {
+        // Cheap pre-gate: a full target queue rejects the submit anyway.
+        if (mem.queueFull(pendingMem.isWrite ? ReqType::kWrite
+                                             : ReqType::kRead))
+            return false;
         Request req;
         req.addr = pendingMem.addr;
         req.type = pendingMem.isWrite ? ReqType::kWrite : ReqType::kRead;
@@ -88,7 +136,8 @@ Core::issueMemOp(Cycle now)
             // Posted write: completes once accepted.
             if (mem.submit(std::move(req)) != SubmitResult::kAccepted)
                 return false;
-            *done_at = now + 1;
+            slot->done = now + 1;
+            mlp->knownDone.push(slot->done);
         } else {
             req.onComplete = on_done;
             if (mem.submit(std::move(req)) != SubmitResult::kAccepted)
@@ -101,7 +150,8 @@ Core::issueMemOp(Cycle now)
                                         nullptr);
             if (res == LlcResult::kReject)
                 return false;
-            *done_at = now + 1;
+            slot->done = now + 1;
+            mlp->knownDone.push(slot->done);
         } else {
             LlcResult res = llc->access(pendingMem.addr, false, thread, now,
                                         on_done);
@@ -109,7 +159,14 @@ Core::issueMemOp(Cycle now)
                 return false;
         }
     }
-    pending.push_back(MemOp{instrIssued, done_at});
+    // Completion still unknown (no callback fired yet): count the op as
+    // outstanding until its time arrives.
+    if (slot->done < 0) {
+        slot->counted = true;
+        ++mlp->unknown;
+    }
+    pending.push_back(MemOp{instrIssued, std::move(slot)});
+    retrySlot.reset();      // consumed; next op gets a fresh slot
     ++numMemOps;
     return true;
 }

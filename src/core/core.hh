@@ -11,7 +11,10 @@
 #define BH_CORE_CORE_HH
 
 #include <deque>
+#include <functional>
 #include <memory>
+#include <queue>
+#include <vector>
 
 #include "cache/llc.hh"
 #include "core/trace.hh"
@@ -54,17 +57,84 @@ class Core
     /** Cycles the core could not issue due to resource rejection. */
     std::uint64_t stallCycles() const { return numStallCycles; }
 
+    /**
+     * Monotonic progress stamp: changes whenever the core retires or
+     * issues anything. A tick that leaves the stamp unchanged was a
+     * no-op, and the core stays a no-op until nextEventAt() (or an
+     * external state change re-enables a rejected memory issue).
+     */
+    std::uint64_t
+    progressStamp() const
+    {
+        return instrIssued + instrRetired + numMemOps;
+    }
+
+    /**
+     * Cycle at which this blocked core can make progress on its own: the
+     * completion time of the window-head memory op when known. Returns
+     * kNoEventCycle when the wake-up depends on another component (a
+     * memory issue slot freeing, a quota lifting) — those are bounded by
+     * that component's own nextEventAt.
+     */
+    Cycle nextEventAt() const;
+
+    /**
+     * The event-skipping driver eliminated `n` cycles in which this core
+     * would have re-attempted (and failed) the same memory issue.
+     */
+    void
+    noteSkippedCycles(std::uint64_t n)
+    {
+        if (lastTickStalled)
+            numStallCycles += n;
+    }
+
     /** True if the trace ended and all work drained. */
     bool done() const { return traceEnded && pending.empty(); }
 
     ThreadId threadId() const { return thread; }
 
   private:
+    /**
+     * Completion state of one memory instruction, shared with the
+     * completion callback registered at the LLC / memory system.
+     * `counted` marks ops currently included in `outstandingUnknown`.
+     */
+    struct MemSlot
+    {
+        Cycle done = -1;        ///< -1 while the completion time is unknown
+        bool counted = false;
+    };
+
     /** An in-flight memory instruction, ordered by window position. */
     struct MemOp
     {
         std::uint64_t pos;              ///< instruction index in the window
-        std::shared_ptr<Cycle> doneAt;  ///< -1 while outstanding
+        std::shared_ptr<MemSlot> slot;
+    };
+
+    /**
+     * O(1) memory-level-parallelism accounting (replaces scanning
+     * `pending` on every issue attempt): ops with unknown completion
+     * times are counted directly; known times sit in a min-heap and
+     * drop out as simulated time passes them. Owned via shared_ptr so
+     * completion callbacks parked in the LLC or controller can never
+     * dangle, even if the Core is replaced with ops in flight.
+     */
+    struct MlpState
+    {
+        unsigned unknown = 0;
+        std::priority_queue<Cycle, std::vector<Cycle>,
+                            std::greater<Cycle>> knownDone;
+
+        /** Ops past their completion time leave the outstanding set. */
+        unsigned
+        outstandingAt(Cycle now)
+        {
+            while (!knownDone.empty() && knownDone.top() <= now)
+                knownDone.pop();
+            return unknown + static_cast<unsigned>(knownDone.size());
+        }
     };
 
     bool issueMemOp(Cycle now);
@@ -84,8 +154,12 @@ class Core
     bool havePendingMem = false;
     TraceEntry pendingMem;
     bool traceEnded = false;
+    bool lastTickStalled = false;
+    std::shared_ptr<MemSlot> retrySlot;     ///< completion slot, reused
+                                            ///< across rejected attempts
 
     std::deque<MemOp> pending;
+    std::shared_ptr<MlpState> mlp = std::make_shared<MlpState>();
 };
 
 } // namespace bh

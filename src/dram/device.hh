@@ -45,6 +45,19 @@ class DramDevice
         return earliest(cmd, flat_bank) <= now;
     }
 
+    /**
+     * Rank-level earliest issue cycle of a column command (tCCD spacing
+     * and data-bus turnaround), before per-bank constraints. The full
+     * earliest() for a column command is the max of this and the bank's
+     * own earliest — exposing the split lets the scheduler reject a whole
+     * tick in O(1) when the shared column gate is closed.
+     */
+    Cycle
+    columnEarliest(DramCommand cmd) const
+    {
+        return cmd == DramCommand::kRd ? nextRd : nextWr;
+    }
+
     /** Issue a command; panics on a timing violation. */
     void issue(DramCommand cmd, unsigned flat_bank, RowId row, Cycle now);
 

@@ -11,7 +11,9 @@ MemController::MemController(DramDevice &device, const ControllerConfig &config,
                              Mitigation &mitigation, HammerObserver *hammer_obs,
                              DramEnergyModel *energy_model)
     : dram(device), cfg(config), mitig(mitigation), hammer(hammer_obs),
-      energy(energy_model), victimQ(device.numBanks()),
+      energy(energy_model), scheduler(device.numBanks()),
+      readQ(device.numBanks()), writeQ(device.numBanks()),
+      victimQ(device.numBanks()),
       nextRefreshAt(device.timings().tREFI),
       hitStreak(device.numBanks(), 0),
       banks(device.numBanks())
@@ -42,26 +44,52 @@ MemController::enqueue(Request req)
         if (req.thread >= 0)
             ++threadStatsMutable(req.thread).writes;
     }
-    queue.push_back(std::move(req));
+    queue.push(std::move(req));
+    ++numActions;
     return true;
 }
 
 void
 MemController::tick(Cycle now)
 {
+    // Idle fast path: if the last executed tick did nothing, nothing has
+    // arrived since, and no timing/mitigation event matures before `now`,
+    // this tick is an exact repeat of the last one — replay its (purely
+    // internal) bookkeeping instead of re-walking the queues. Disabled in
+    // cycle-by-cycle reference mode.
+    if (fastIdleTicks && idleTickValid && now < idleUntil &&
+        idleSinceLastTick()) {
+        noteSkippedTicks(1);
+        return;
+    }
+    idleTickValid = false;
+
+    stampBeforeLastTick = numActions;
+    lastTickAt = now;
+    lastTickReachedDemand = false;
+    std::uint64_t blocked_before = numActBlocked;
+
     mitig.tick(now);
 
     if (!refreshPending && now >= nextRefreshAt)
         refreshPending = true;
 
     // At most one command per cycle on the command bus.
-    if (tryRefresh(now))
-        return;
-    if (refreshPending)
-        return;     // all effort goes to closing banks for REF
-    if (tryVictimRefresh(now))
-        return;
-    tryDemand(now);
+    if (!tryRefresh(now) && !refreshPending) {
+        // While refresh is pending, all effort goes to closing banks.
+        if (!tryVictimRefresh(now)) {
+            lastTickReachedDemand = true;
+            tryDemand(now);
+        }
+    }
+
+    lastTickBlockedEvals = numActBlocked - blocked_before;
+    stampAfterLastTick = numActions;
+
+    if (fastIdleTicks && stampAfterLastTick == stampBeforeLastTick) {
+        idleUntil = nextEventAt(now);
+        idleTickValid = true;
+    }
 }
 
 bool
@@ -75,6 +103,7 @@ MemController::tryRefresh(Cycle now)
         if (dram.bank(fb).isOpen() &&
             dram.canIssue(DramCommand::kPre, fb, now)) {
             dram.issue(DramCommand::kPre, fb, 0, now);
+            ++numActions;
             if (energy)
                 energy->onOpenBankCount(dram.openBankCount(), now);
             return true;
@@ -88,6 +117,7 @@ MemController::tryRefresh(Cycle now)
         return false;
 
     auto range = dram.issueRefresh(now);
+    ++numActions;
     if (energy)
         energy->onCommand(DramCommand::kRef, now);
     if (hammer)
@@ -111,6 +141,7 @@ MemController::tryVictimRefresh(Cycle now)
             if (dram.bank(fb).isOpen()) {
                 if (dram.canIssue(DramCommand::kPre, fb, now)) {
                     dram.issue(DramCommand::kPre, fb, 0, now);
+                    ++numActions;
                     if (energy)
                         energy->onOpenBankCount(dram.openBankCount(), now);
                     return true;
@@ -119,6 +150,7 @@ MemController::tryVictimRefresh(Cycle now)
             }
             if (dram.canIssue(DramCommand::kAct, fb, now)) {
                 dram.issue(DramCommand::kAct, fb, op.row, now);
+                ++numActions;
                 if (energy) {
                     energy->onCommand(DramCommand::kAct, now);
                     energy->onOpenBankCount(dram.openBankCount(), now);
@@ -141,10 +173,12 @@ MemController::tryVictimRefresh(Cycle now)
                 dram.bank(fb).openRow() != op.row) {
                 ops.pop_front();
                 ++numVictimDone;
+                ++numActions;
                 continue;
             }
             if (dram.canIssue(DramCommand::kPre, fb, now)) {
                 dram.issue(DramCommand::kPre, fb, 0, now);
+                ++numActions;
                 if (energy)
                     energy->onOpenBankCount(dram.openBankCount(), now);
                 ops.pop_front();
@@ -174,18 +208,24 @@ MemController::tryDemand(Cycle now)
     bool serve_writes = (drainingWrites && drainToggle) || readQ.empty();
     auto &primary = serve_writes ? writeQ : readQ;
     auto &secondary = serve_writes ? readQ : writeQ;
+    ReqType primary_type = serve_writes ? ReqType::kWrite : ReqType::kRead;
+    ReqType secondary_type = serve_writes ? ReqType::kRead : ReqType::kWrite;
 
     auto capped = [&](unsigned bank) {
         return hitStreak[bank] >= cfg.rowHitCap;
     };
     // 1. Row-buffer hits from the primary queue.
-    if (auto idx = scheduler.pickColumnReady(primary, dram, now, capped)) {
-        issueColumn(primary, *idx, now);
+    if (auto h = scheduler.pickColumnReady(primary, primary_type, dram, now,
+                                           capped);
+        h != SchedQueue::kNone) {
+        issueColumn(primary, h, now);
         return true;
     }
     // 2. Opportunistic hits from the secondary queue.
-    if (auto idx = scheduler.pickColumnReady(secondary, dram, now, capped)) {
-        issueColumn(secondary, *idx, now);
+    if (auto h = scheduler.pickColumnReady(secondary, secondary_type, dram,
+                                           now, capped);
+        h != SchedQueue::kNone) {
+        issueColumn(secondary, h, now);
         return true;
     }
     // 3. Row preparation, honoring the mitigation's safety verdict.
@@ -196,24 +236,27 @@ MemController::tryDemand(Cycle now)
             ++numActBlocked;
         return safe;
     };
-    if (auto idx = scheduler.pickRowPrep(primary, dram, now, act_filter,
-                                         capped)) {
-        if (issuePrep(primary, *idx, now))
+    if (auto h = scheduler.pickRowPrep(primary, dram, now, act_filter,
+                                       capped);
+        h != SchedQueue::kNone) {
+        if (issuePrep(primary, h, now))
             return true;
     }
-    if (auto idx = scheduler.pickRowPrep(secondary, dram, now, act_filter,
-                                         capped)) {
-        if (issuePrep(secondary, *idx, now))
+    if (auto h = scheduler.pickRowPrep(secondary, dram, now, act_filter,
+                                       capped);
+        h != SchedQueue::kNone) {
+        if (issuePrep(secondary, h, now))
             return true;
     }
     return false;
 }
 
 void
-MemController::issueColumn(std::deque<Request> &queue, std::size_t idx,
+MemController::issueColumn(SchedQueue &queue, SchedQueue::Handle h,
                            Cycle now)
 {
-    Request &req = queue[idx];
+    Request req = queue.take(h);
+    ++numActions;
     unsigned fb = req.flatBank;
     DramCommand cmd = (req.type == ReqType::kRead)
         ? DramCommand::kRd : DramCommand::kWr;
@@ -249,18 +292,17 @@ MemController::issueColumn(std::deque<Request> &queue, std::size_t idx,
     stats.sample("mc.latency", done - req.arrival);
     if (req.onComplete)
         req.onComplete(done);
-    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
 }
 
 bool
-MemController::issuePrep(std::deque<Request> &queue, std::size_t idx,
-                         Cycle now)
+MemController::issuePrep(SchedQueue &queue, SchedQueue::Handle h, Cycle now)
 {
-    Request &req = queue[idx];
+    Request &req = queue.at(h);
     unsigned fb = req.flatBank;
     const Bank &bank = dram.bank(fb);
     if (bank.isOpen()) {
         dram.issue(DramCommand::kPre, fb, 0, now);
+        ++numActions;
         if (energy)
             energy->onOpenBankCount(dram.openBankCount(), now);
         req.neededPrecharge = true;
@@ -268,6 +310,7 @@ MemController::issuePrep(std::deque<Request> &queue, std::size_t idx,
         return true;
     }
     dram.issue(DramCommand::kAct, fb, req.coord.row, now);
+    ++numActions;
     hitStreak[fb] = 0;
     if (energy) {
         energy->onCommand(DramCommand::kAct, now);
@@ -288,6 +331,7 @@ MemController::scheduleVictimRefresh(unsigned flat_bank, RowId row)
 {
     victimQ[flat_bank].push_back(VictimOp{row, false});
     ++numVictimScheduled;
+    ++numActions;
 }
 
 std::size_t
@@ -297,6 +341,82 @@ MemController::pendingVictimRefreshes() const
     for (const auto &q : victimQ)
         n += q.size();
     return n;
+}
+
+Cycle
+MemController::nextEventAt(Cycle now)
+{
+    // While the idle analysis from the last executed tick still holds,
+    // its bound is the answer (the skip driver asks every quiet cycle).
+    if (idleTickValid && now < idleUntil && idleSinceLastTick())
+        return idleUntil;
+
+    // The mitigation's epoch/reset boundaries bound every skip so that at
+    // most one boundary is crossed per executed tick (its catch-up logic
+    // then matches the cycle-by-cycle path exactly).
+    Cycle best = mitig.nextHousekeepingAt(now);
+
+    if (refreshPending) {
+        // Refresh drain gates everything else: the next actions are PREs
+        // on open banks, then the REF itself.
+        if (dram.anyBankOpen()) {
+            for (unsigned fb = 0; fb < banks; ++fb)
+                if (dram.bank(fb).isOpen())
+                    best = std::min(best,
+                                    dram.bank(fb).earliest(DramCommand::kPre));
+        } else {
+            best = std::min(best, std::max<Cycle>(dram.earliestRefresh(), 0));
+        }
+        return std::max(best, now);
+    }
+
+    best = std::min(best, nextRefreshAt);
+
+    // Victim-refresh candidates. Completed ops whose bank moved on are
+    // popped eagerly by the preceding tick, so pending ops wait on timing.
+    for (unsigned fb = 0; fb < banks; ++fb) {
+        const auto &ops = victimQ[fb];
+        if (ops.empty())
+            continue;
+        const VictimOp &op = ops.front();
+        if (!op.activated) {
+            best = std::min(best, dram.bank(fb).isOpen()
+                            ? dram.bank(fb).earliest(DramCommand::kPre)
+                            : dram.earliest(DramCommand::kAct, fb));
+        } else {
+            best = std::min(best,
+                            dram.bank(fb).earliest(DramCommand::kPre));
+        }
+    }
+
+    // Demand candidates from both queues (either can serve any tick).
+    auto capped = [&](unsigned bank) {
+        return hitStreak[bank] >= cfg.rowHitCap;
+    };
+    Cycle verdict = mitig.nextVerdictChangeAt(now);
+    // Any unsafe verdict in the last tick makes the per-tick blocked
+    // counters verdict-dependent: even if no command can issue earlier, a
+    // verdict flip changes what the skipped ticks would have counted.
+    if (lastTickBlockedEvals > 0)
+        best = std::min(best, verdict);
+    best = std::min(best, scheduler.nextDemandEventAt(
+        readQ, ReqType::kRead, dram, lastTickAt, capped, verdict));
+    best = std::min(best, scheduler.nextDemandEventAt(
+        writeQ, ReqType::kWrite, dram, lastTickAt, capped, verdict));
+    return std::max(best, now);
+}
+
+void
+MemController::noteSkippedTicks(std::uint64_t n)
+{
+    if (lastTickReachedDemand) {
+        // Each skipped tick would have re-evaluated the same mitigation
+        // safety queries and flipped the drain fairness toggle once.
+        numActBlocked += lastTickBlockedEvals * n;
+        if (n & 1)
+            drainToggle = !drainToggle;
+    }
+    mitig.noteSkippedTicks(n);
 }
 
 int

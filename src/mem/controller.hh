@@ -7,6 +7,12 @@
  * watermarks, periodic all-bank refresh, a victim-refresh side channel for
  * reactive mitigation mechanisms, and the BlockHammer safety-query hook in
  * front of every demand activation.
+ *
+ * For event-skipping simulation the controller answers nextEventAt()
+ * (earliest future cycle at which it could issue a command or change
+ * externally visible state, given no new requests) and replays the
+ * per-tick side effects of skipped idle ticks through noteSkippedTicks(),
+ * so a skipping run is bit-compatible with a cycle-by-cycle run.
  */
 
 #ifndef BH_MEM_CONTROLLER_HH
@@ -80,6 +86,16 @@ class MemController
     std::size_t readQueueDepth() const { return readQ.size(); }
     std::size_t writeQueueDepth() const { return writeQ.size(); }
 
+    /** Queue-full admission checks (cheap pre-gate for submit retries). */
+    bool readQueueFull() const { return readQ.size() >= cfg.readQueueSize; }
+    bool writeQueueFull() const
+    {
+        return writeQ.size() >= cfg.writeQueueSize;
+    }
+
+    /** Account a submit rejected up front for a full queue. */
+    void noteQueueFullReject() { ++numQueueFull; }
+
     /** In-flight (accepted, not yet serviced) reads for <thread, bank>. */
     int inflight(ThreadId thread, unsigned flat_bank) const;
 
@@ -94,6 +110,51 @@ class MemController
     std::uint64_t rowHits() const { return numRowHits; }
     std::uint64_t rowMisses() const { return numRowMisses; }
     std::uint64_t rowConflicts() const { return numRowConflicts; }
+
+    /**
+     * Monotonic count of externally visible controller activity: issued
+     * DRAM commands, completed victim-refresh ops, and accepted requests.
+     * The event-skipping driver compares stamps across a cycle to decide
+     * whether the system is quiescent.
+     */
+    std::uint64_t activityStamp() const { return numActions; }
+
+    /**
+     * True when the most recent tick() performed no externally visible
+     * action AND no request arrived since it ran — the precondition for
+     * treating that tick as representative of skipped idle ticks.
+     */
+    bool
+    idleSinceLastTick() const
+    {
+        return numActions == stampAfterLastTick &&
+            stampAfterLastTick == stampBeforeLastTick;
+    }
+
+    /**
+     * Earliest cycle > `now` at which this controller could act (issue a
+     * command, start a refresh, or see a mitigation verdict change),
+     * assuming no new requests arrive. Conservative: never later than the
+     * true next action, may be earlier. Only valid in an idle state (see
+     * idleSinceLastTick()).
+     */
+    Cycle nextEventAt(Cycle now);
+
+    /**
+     * Replay the externally invisible side effects of `n` skipped idle
+     * ticks: blocked-activation counters (exactly `n` times the last idle
+     * tick's safety-query evaluations), the write-drain fairness toggle,
+     * and the mitigation's own per-tick accounting.
+     */
+    void noteSkippedTicks(std::uint64_t n);
+
+    /**
+     * Enable/disable the internal idle-tick fast path (replaying a
+     * provably identical idle tick instead of re-walking the queues).
+     * On by default; the cycle-by-cycle reference mode turns it off so
+     * `--skip off` exercises the original code path end to end.
+     */
+    void setFastIdleTicks(bool enabled) { fastIdleTicks = enabled; }
 
     /** Publish counters into `stats` (call once after a run). */
     void syncStats();
@@ -114,8 +175,8 @@ class MemController
     bool tryRefresh(Cycle now);
     bool tryVictimRefresh(Cycle now);
     bool tryDemand(Cycle now);
-    void issueColumn(std::deque<Request> &queue, std::size_t idx, Cycle now);
-    bool issuePrep(std::deque<Request> &queue, std::size_t idx, Cycle now);
+    void issueColumn(SchedQueue &queue, SchedQueue::Handle h, Cycle now);
+    bool issuePrep(SchedQueue &queue, SchedQueue::Handle h, Cycle now);
     void noteInflight(ThreadId thread, unsigned bank, int delta);
     ThreadMemStats &threadStatsMutable(ThreadId thread);
 
@@ -126,8 +187,8 @@ class MemController
     DramEnergyModel *energy;
     FrFcfsScheduler scheduler;
 
-    std::deque<Request> readQ;
-    std::deque<Request> writeQ;
+    SchedQueue readQ;
+    SchedQueue writeQ;
     std::vector<std::deque<VictimOp>> victimQ;  ///< per bank
 
     bool drainingWrites = false;
@@ -137,8 +198,19 @@ class MemController
 
     std::vector<int> inflightCount;     ///< [thread * banks + bank]
     std::vector<unsigned> hitStreak;    ///< consecutive row hits per bank
-    mutable std::vector<ThreadMemStats> perThread;
+    std::vector<ThreadMemStats> perThread;
     unsigned banks;
+
+    // Event-skipping bookkeeping (see activityStamp()).
+    std::uint64_t numActions = 0;
+    std::uint64_t stampBeforeLastTick = 0;
+    std::uint64_t stampAfterLastTick = 0;
+    Cycle lastTickAt = -1;
+    bool lastTickReachedDemand = false;
+    std::uint64_t lastTickBlockedEvals = 0;
+    bool fastIdleTicks = true;
+    bool idleTickValid = false;     ///< idleUntil holds a live bound
+    Cycle idleUntil = 0;            ///< no controller event before this
 
     std::uint64_t numReads = 0;
     std::uint64_t numWrites = 0;

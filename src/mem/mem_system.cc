@@ -17,9 +17,23 @@ MemSystem::MemSystem(const MemSystemConfig &config,
                                            hammer.get(), energy.get());
 }
 
+bool
+MemSystem::queueFull(ReqType type) const
+{
+    return type == ReqType::kRead ? ctrl->readQueueFull()
+                                  : ctrl->writeQueueFull();
+}
+
 SubmitResult
 MemSystem::submit(Request req)
 {
+    // Cheap pre-gate: a full target queue rejects regardless of address
+    // decode or quota state, and stalled cores re-submit every cycle.
+    if (queueFull(req.type)) {
+        ctrl->noteQueueFullReject();
+        return SubmitResult::kQueueFull;
+    }
+
     req.coord = map->decode(req.addr);
     req.flatBank = req.coord.flatBank(cfg.org);
     unsigned fb = req.flatBank;

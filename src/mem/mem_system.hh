@@ -47,6 +47,9 @@ class MemSystem
     /** Decode, check quota, and enqueue a request. */
     SubmitResult submit(Request req);
 
+    /** Would a request of `type` be rejected for a full queue right now? */
+    bool queueFull(ReqType type) const;
+
     /** Advance one cycle. */
     void tick(Cycle now) { ctrl->tick(now); }
 

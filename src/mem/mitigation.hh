@@ -64,6 +64,40 @@ class Mitigation
     virtual void tick(Cycle now) { (void)now; }
 
     /**
+     * Next cycle at which tick() performs time-driven housekeeping (an
+     * epoch boundary, a counter-table reset, ...), or kNoEventCycle if
+     * none is scheduled. The event-skipping driver never jumps past this,
+     * so each boundary is observed by exactly one executed tick — just as
+     * in cycle-by-cycle simulation.
+     */
+    virtual Cycle
+    nextHousekeepingAt(Cycle now) const
+    {
+        (void)now;
+        return kNoEventCycle;
+    }
+
+    /**
+     * Earliest cycle at which an isActSafe() verdict could flip without
+     * any new activation being issued (history entries aging out, epoch
+     * clears). Mechanisms that never refuse activations keep the default.
+     */
+    virtual Cycle
+    nextVerdictChangeAt(Cycle now) const
+    {
+        (void)now;
+        return kNoEventCycle;
+    }
+
+    /**
+     * The event-skipping driver eliminated `n` idle controller ticks that
+     * would each have re-run the same safety queries as the last executed
+     * tick. Mechanisms that keep per-query counters replay them here so
+     * skipping stays bit-compatible with cycle-by-cycle simulation.
+     */
+    virtual void noteSkippedTicks(std::uint64_t n) { (void)n; }
+
+    /**
      * Maximum in-flight read requests <thread, bank> may have; negative
      * means unlimited. Implements AttackThrottler-style quotas.
      */

@@ -42,6 +42,7 @@ class Cbt : public Mitigation
     void onActivate(unsigned bank, RowId row, ThreadId thread,
                     Cycle now) override;
     void tick(Cycle now) override;
+    Cycle nextHousekeepingAt(Cycle) const override { return nextReset; }
 
     std::uint64_t regionRefreshes() const { return numRegionRefreshes; }
     std::uint64_t rowsRefreshed() const { return numRowsRefreshed; }

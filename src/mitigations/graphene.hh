@@ -36,6 +36,7 @@ class Graphene : public Mitigation
     void onActivate(unsigned bank, RowId row, ThreadId thread,
                     Cycle now) override;
     void tick(Cycle now) override;
+    Cycle nextHousekeepingAt(Cycle) const override { return nextReset; }
 
     std::uint64_t refreshesIssued() const { return numRefreshes; }
     std::uint32_t threshold() const { return thT; }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "common/log.hh"
@@ -547,6 +548,54 @@ structuralDiff(const Json &a, const Json &b, const DiffOptions &opts)
     DiffWalker walker{opts, {}, false};
     walker.compare(a, b, "");
     return walker.out;
+}
+
+std::vector<GridStatus>
+gridStatus(const std::vector<LoadedReport> &inputs)
+{
+    // Group by grid identity; the fingerprint already folds in the
+    // experiment, scale, and cell space, but keeping the readable keys
+    // makes mismatched-binary shards show up as two distinct grids.
+    using Key = std::pair<std::string, std::string>;   // experiment, fp
+    std::map<Key, std::vector<const LoadedReport *>> groups;
+    for (const LoadedReport &in : inputs)
+        groups[{in.manifest.experiment, in.manifest.fingerprint}]
+            .push_back(&in);
+
+    std::vector<GridStatus> out;
+    for (const auto &kv : groups) {
+        GridStatus g;
+        g.experiment = kv.first.first;
+        g.fingerprint = kv.first.second;
+        std::set<std::string> shard_specs;
+        std::set<std::uint64_t> covered;
+        for (const LoadedReport *in : kv.second) {
+            const RunManifest &m = in->manifest;
+            g.scale = m.scale;
+            g.cellTotal = std::max(g.cellTotal, m.cellTotal);
+            g.paths.push_back(in->path);
+            shard_specs.insert(strfmt("%u/%u", m.shardIndex, m.shardCount));
+            const Json *cells = in->doc.find("cells");
+            if (cells && cells->type() == Json::Type::Object) {
+                for (const auto &cell : cells->objectItems()) {
+                    std::uint64_t idx =
+                        std::strtoull(cell.first.c_str(), nullptr, 10);
+                    covered.insert(idx);
+                }
+            }
+        }
+        g.shards.assign(shard_specs.begin(), shard_specs.end());
+        g.cellsCovered = covered.size();
+        for (std::uint64_t c = 0; c < g.cellTotal; ++c) {
+            if (covered.count(c))
+                continue;
+            if (g.missingCells.size() >= GridStatus::kMaxListedMissing)
+                break;
+            g.missingCells.push_back(c);
+        }
+        out.push_back(std::move(g));
+    }
+    return out;
 }
 
 } // namespace bh

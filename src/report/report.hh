@@ -120,6 +120,37 @@ bool mergeReports(const std::vector<LoadedReport> &inputs, MergeResult &out,
  */
 void normalizeToUnsharded(Json &doc);
 
+/**
+ * Coverage summary of one experiment grid across a set of shard reports
+ * (the `bh_collect status` view): which shards exist, which global cells
+ * are covered, and which are still missing.
+ */
+struct GridStatus
+{
+    std::string experiment;
+    double scale = 1.0;
+    std::string fingerprint;
+    std::uint64_t cellTotal = 0;
+    std::uint64_t cellsCovered = 0;
+    /** Shard specs seen, as "I/N" strings (sorted, deduplicated). */
+    std::vector<std::string> shards;
+    /** Input files contributing to this grid. */
+    std::vector<std::string> paths;
+    /** Missing global cell indices (capped at kMaxListedMissing). */
+    std::vector<std::uint64_t> missingCells;
+    static constexpr std::size_t kMaxListedMissing = 16;
+
+    bool complete() const { return cellsCovered == cellTotal; }
+};
+
+/**
+ * Group loaded reports by (experiment, scale, fingerprint) and compute
+ * each grid's shard/cell coverage. Reports of different grids coexist;
+ * results are sorted by experiment name then fingerprint. Analytic
+ * experiments (cellTotal 0) are complete by definition.
+ */
+std::vector<GridStatus> gridStatus(const std::vector<LoadedReport> &inputs);
+
 /** Options for the structural diff. */
 struct DiffOptions
 {

@@ -53,6 +53,7 @@ buildSystem(const ExperimentConfig &config, const MixSpec &mix)
 
     SystemConfig sys_cfg;
     sys_cfg.threads = config.threads;
+    sys_cfg.skip = config.skip;
     sys_cfg.mem.timings = config.timings();
     sys_cfg.mem.hammer.nRH = config.nRH;
     sys_cfg.mem.hammer.blastRadius = 1;     // double-sided attack model

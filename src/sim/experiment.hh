@@ -35,6 +35,12 @@ struct ExperimentConfig
     double refwMs = 1.0;            ///< compressed tREFW (paper: 64 ms)
     std::uint64_t seed = 1;
     bool hammerObserver = true;
+    /**
+     * Time-advance strategy. Event skipping is bit-compatible with
+     * cycle-by-cycle simulation (kVerify asserts that); results never
+     * depend on this knob.
+     */
+    SkipMode skip = SkipMode::kEventSkip;
     AttackParams attack;
 
     /** Paper-scale configuration (for security/analysis runs). */

@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace bh
@@ -10,6 +12,9 @@ System::System(const SystemConfig &config,
     : cfg(config)
 {
     memSys = std::make_unique<MemSystem>(cfg.mem, std::move(mitigation));
+    // --skip off is the end-to-end reference: no fast paths anywhere.
+    memSys->controller().setFastIdleTicks(
+        cfg.skip != SkipMode::kCycleByCycle);
     if (cfg.useLlc)
         llcPtr = std::make_unique<Llc>(cfg.llc, *memSys);
     traces.resize(cfg.threads);
@@ -34,6 +39,37 @@ System::setTrace(unsigned slot, std::unique_ptr<TraceSource> trace,
         llcPtr.get(), *memSys);
 }
 
+std::uint64_t
+System::progressStamp() const
+{
+    std::uint64_t s = memSys->controller().activityStamp();
+    for (const auto &core : cores)
+        s += core->progressStamp();
+    if (llcPtr)
+        s += llcPtr->writebacks();
+    return s;
+}
+
+Cycle
+System::nextEventAt(Cycle end)
+{
+    Cycle target = end;
+    for (const auto &core : cores) {
+        Cycle e = core->nextEventAt();
+        if (e != kNoEventCycle)
+            target = std::min(target, e);
+    }
+    // The controller only acts on its own clock: align its event up to
+    // the next controller tick. (Core events stay cycle-exact.)
+    Cycle divider = std::max<Cycle>(1, cfg.mcClockDivider);
+    Cycle mc = memSys->controller().nextEventAt(currentCycle);
+    if (mc != kNoEventCycle) {
+        Cycle aligned = ((mc + divider - 1) / divider) * divider;
+        target = std::min(target, aligned);
+    }
+    return std::max(target, currentCycle);
+}
+
 void
 System::run(Cycle cycles)
 {
@@ -42,9 +78,11 @@ System::run(Cycle cycles)
             fatal("core slot %u has no trace installed", t);
 
     Cycle end = currentCycle + cycles;
-    unsigned divider = std::max(1u, cfg.mcClockDivider);
+    Cycle divider = std::max<Cycle>(1, cfg.mcClockDivider);
     unsigned n = static_cast<unsigned>(cores.size());
-    for (; currentCycle < end; ++currentCycle) {
+    bool track = cfg.skip != SkipMode::kCycleByCycle;
+    while (currentCycle < end) {
+        std::uint64_t before = track ? progressStamp() : 0;
         // Rotate the tick order so no core gets a systematic head start
         // when racing for shared queue slots.
         unsigned first = static_cast<unsigned>(currentCycle) % n;
@@ -54,6 +92,52 @@ System::run(Cycle cycles)
             llcPtr->tick(currentCycle);
         if (currentCycle % divider == 0)
             memSys->tick(currentCycle);
+        Cycle ticked = currentCycle;
+        ++currentCycle;
+
+        if (!track)
+            continue;
+        bool progressed = progressStamp() != before;
+        bool idle = !progressed &&
+            memSys->controller().idleSinceLastTick();
+
+        if (cfg.skip == SkipMode::kVerify) {
+            // Cross-check: any progress inside a previously claimed quiet
+            // region falsifies the skip analysis.
+            if (progressed && ticked < verifiedQuietUntil)
+                panic("event-skip verify: progress at cycle %lld inside a "
+                      "region claimed quiet until %lld",
+                      static_cast<long long>(ticked),
+                      static_cast<long long>(verifiedQuietUntil));
+            if (idle)
+                verifiedQuietUntil =
+                    std::max(verifiedQuietUntil, nextEventAt(end));
+            continue;
+        }
+
+        if (!idle)
+            continue;
+        Cycle target = nextEventAt(end);
+        if (target <= currentCycle)
+            continue;
+
+        // Jump. Replay the per-tick counters the eliminated cycles would
+        // have produced: each skipped controller tick repeats the last
+        // executed (idle) tick's bookkeeping; stalled cores accrue their
+        // per-cycle stall accounting.
+        std::uint64_t k_cpu =
+            static_cast<std::uint64_t>(target - currentCycle);
+        auto mc_ticks_before = [&](Cycle c) {
+            return static_cast<std::uint64_t>((c + divider - 1) / divider);
+        };
+        std::uint64_t k_mc =
+            mc_ticks_before(target) - mc_ticks_before(currentCycle);
+        for (auto &core : cores)
+            core->noteSkippedCycles(k_cpu);
+        if (k_mc > 0)
+            memSys->controller().noteSkippedTicks(k_mc);
+        numSkipped += k_cpu;
+        currentCycle = target;
     }
 }
 

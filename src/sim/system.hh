@@ -3,6 +3,13 @@
  * Full-system composition: N trace-driven cores sharing an LLC in front of
  * one DRAM channel with an installed RowHammer mitigation mechanism
  * (the paper's Table 5 configuration).
+ *
+ * The driver loop supports event skipping: when a cycle passes with no
+ * component making progress, the system queries every component for its
+ * next possible event and jumps there in one step, replaying the (few,
+ * externally invisible) per-tick counters of the eliminated cycles. A
+ * skipping run is bit-compatible with a cycle-by-cycle run; SkipMode
+ * kVerify executes cycle-by-cycle while asserting every skip claim.
  */
 
 #ifndef BH_SIM_SYSTEM_HH
@@ -17,6 +24,14 @@
 namespace bh
 {
 
+/** How System::run advances simulated time. */
+enum class SkipMode
+{
+    kCycleByCycle,  ///< tick every cycle (the reference behavior)
+    kEventSkip,     ///< jump over provably idle stretches (default)
+    kVerify,        ///< tick every cycle, assert every skip claim
+};
+
 /** Aggregate system configuration. */
 struct SystemConfig
 {
@@ -27,6 +42,8 @@ struct SystemConfig
     bool useLlc = true;
     /** Memory controller clock divider relative to the CPU clock. */
     unsigned mcClockDivider = 2;
+    /** Time-advance strategy (see SkipMode). */
+    SkipMode skip = SkipMode::kEventSkip;
 };
 
 /** A complete simulated system instance. */
@@ -61,6 +78,9 @@ class System
     /** IPC of one thread over the measurement window. */
     double ipc(unsigned slot) const;
 
+    /** Cycles eliminated by event skipping so far (diagnostics). */
+    std::uint64_t skippedCycles() const { return numSkipped; }
+
     Core &core(unsigned slot) { return *cores[slot]; }
     const Core &core(unsigned slot) const { return *cores[slot]; }
     Llc *llc() { return llcPtr.get(); }
@@ -76,6 +96,12 @@ class System
     }
 
   private:
+    /** Combined progress stamp over every component (quiescence check). */
+    std::uint64_t progressStamp() const;
+
+    /** Earliest cycle in (now, end] at which any component can act. */
+    Cycle nextEventAt(Cycle end);
+
     SystemConfig cfg;
     std::unique_ptr<MemSystem> memSys;
     std::unique_ptr<Llc> llcPtr;
@@ -85,6 +111,8 @@ class System
     Cycle measureStart = 0;
     double energyAtMeasureStart = 0.0;
     std::vector<std::uint64_t> retiredAtMeasureStart;
+    std::uint64_t numSkipped = 0;
+    Cycle verifiedQuietUntil = 0;   ///< kVerify: active skip claim bound
 };
 
 } // namespace bh

@@ -149,6 +149,62 @@ TEST(HistoryBuffer, CapacityAndValidCount)
     EXPECT_EQ(hb.capacity(), 8u);
 }
 
+TEST(HistoryBuffer, ExpiryExactlyAtDelayBoundary)
+{
+    // An entry covers [t, t + tDelay): the delta == tDelay query is the
+    // first one that no longer sees it.
+    HistoryBuffer hb(4, 100);
+    hb.insert(7, 500);
+    EXPECT_TRUE(hb.recentlyActivated(7, 500));
+    EXPECT_TRUE(hb.recentlyActivated(7, 599));
+    hb.expire(600);
+    EXPECT_EQ(hb.validCount(), 0u);
+    EXPECT_FALSE(hb.recentlyActivated(7, 600));
+}
+
+TEST(HistoryBuffer, TimestampDeltasNearWindowEdge)
+{
+    HistoryBuffer hb(8, 100);
+    hb.insert(1, 1000);
+    hb.insert(2, 1001);
+    // One cycle inside the edge for key 1, exactly at it for nothing yet.
+    EXPECT_TRUE(hb.recentlyActivated(1, 1099));
+    EXPECT_TRUE(hb.recentlyActivated(2, 1099));
+    // Key 1 ages out exactly one cycle before key 2.
+    EXPECT_FALSE(hb.recentlyActivated(1, 1100));
+    EXPECT_TRUE(hb.recentlyActivated(2, 1100));
+    EXPECT_FALSE(hb.recentlyActivated(2, 1101));
+    EXPECT_EQ(hb.validCount(), 0u);
+}
+
+TEST(HistoryBuffer, NextExpiryTracksOldestLiveEntry)
+{
+    HistoryBuffer hb(8, 100);
+    EXPECT_EQ(hb.nextExpiryAt(), kNoEventCycle);
+    hb.insert(1, 1000);
+    hb.insert(2, 1040);
+    EXPECT_EQ(hb.nextExpiryAt(), 1100);
+    hb.expire(1100);    // drops the first entry only
+    EXPECT_EQ(hb.validCount(), 1u);
+    EXPECT_EQ(hb.nextExpiryAt(), 1140);
+    hb.expire(1140);
+    EXPECT_EQ(hb.nextExpiryAt(), kNoEventCycle);
+}
+
+TEST(HistoryBuffer, WrapsAroundWithoutStaleEntries)
+{
+    // Exercise head/tail wrap-around (the positional-validity bookkeeping
+    // that replaced the per-slot valid flag).
+    HistoryBuffer hb(4, 10);
+    for (Cycle t = 0; t < 100; t += 3) {
+        hb.insert(static_cast<std::uint64_t>(t), t);
+        EXPECT_TRUE(hb.recentlyActivated(static_cast<std::uint64_t>(t), t));
+        EXPECT_LE(hb.validCount(), 4u);
+    }
+    hb.expire(200);
+    EXPECT_EQ(hb.validCount(), 0u);
+}
+
 TEST(HistoryBufferDeath, OverflowPanics)
 {
     HistoryBuffer hb(4, 1000);

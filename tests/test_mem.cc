@@ -48,6 +48,15 @@ class ScriptedMitigation : public Mitigation
         return it == quotas.end() ? -1 : it->second;
     }
 
+    Cycle
+    nextVerdictChangeAt(Cycle now) const override
+    {
+        // Tests mutate blockedRows from outside the simulation, so a
+        // verdict may flip at any cycle: the controller must not cache
+        // idle-tick analyses across even a single cycle.
+        return now + 1;
+    }
+
     void
     blockRow(unsigned bank, RowId row)
     {
@@ -290,6 +299,24 @@ TEST_F(MemTest, PerThreadStatsAttributed)
     EXPECT_EQ(ts.rowHits, 1u);
     EXPECT_EQ(ts.rowMisses, 1u);
     EXPECT_EQ(ts.activates, 1u);
+}
+
+TEST_F(MemTest, ThreadStatsConstForUnknownThreads)
+{
+    // Out-of-range and negative thread ids return the shared empty stats
+    // without growing any internal table; inflight() is bounds-checked
+    // the same way.
+    const MemController &mc = mem->controller();
+    EXPECT_EQ(mc.threadStats(1234).reads, 0u);
+    EXPECT_EQ(mc.threadStats(-1).reads, 0u);
+    EXPECT_EQ(mc.inflight(1234, 0), 0);
+    EXPECT_EQ(mc.inflight(-1, 0), 0);
+
+    // A real request still lands in the right slot afterwards.
+    read(0, 100, 0, 2);
+    EXPECT_EQ(mc.threadStats(2).reads, 1u);
+    EXPECT_EQ(mc.threadStats(1234).reads, 0u);
+    EXPECT_EQ(mc.inflight(2, 0), 1);
 }
 
 TEST_F(MemTest, SyncStatsPublishesCounters)

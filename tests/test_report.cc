@@ -251,6 +251,66 @@ TEST(Merge, CompleteCellFreeShardsPassThrough)
     EXPECT_NE(err.find("deterministic"), std::string::npos) << err;
 }
 
+TEST(Status, ReportsShardCoverageAndMissingCells)
+{
+    const double scale = 0.1;
+    // Two of three shards present: coverage must be partial with the
+    // unowned shard's cells listed as missing.
+    std::vector<LoadedReport> inputs;
+    for (unsigned i : {0u, 2u}) {
+        Json doc = runMode("sec321", scale, BenchContext::CellMode::Run,
+                           ShardSpec{i, 3});
+        LoadedReport report;
+        std::string err;
+        ASSERT_TRUE(loadReportText(doc.dump(2), strfmt("shard%u", i),
+                                   report, err)) << err;
+        inputs.push_back(std::move(report));
+    }
+
+    auto grids = gridStatus(inputs);
+    ASSERT_EQ(grids.size(), 1u);
+    const GridStatus &g = grids[0];
+    EXPECT_EQ(g.experiment, "sec321");
+    EXPECT_FALSE(g.complete());
+    ASSERT_EQ(g.shards.size(), 2u);
+    EXPECT_EQ(g.shards[0], "0/3");
+    EXPECT_EQ(g.shards[1], "2/3");
+    EXPECT_EQ(g.cellTotal, 2u);     // sec321 at 0.1x has 2 cells
+    EXPECT_EQ(g.cellsCovered, 1u);  // shard 1 of 3 owns cell 1
+    ASSERT_EQ(g.missingCells.size(), 1u);
+    EXPECT_EQ(g.missingCells[0], 1u);
+
+    // Adding the missing shard completes the grid.
+    Json doc = runMode("sec321", scale, BenchContext::CellMode::Run,
+                       ShardSpec{1, 3});
+    LoadedReport report;
+    std::string err;
+    ASSERT_TRUE(loadReportText(doc.dump(2), "shard1", report, err)) << err;
+    inputs.push_back(std::move(report));
+    grids = gridStatus(inputs);
+    ASSERT_EQ(grids.size(), 1u);
+    EXPECT_TRUE(grids[0].complete());
+    EXPECT_EQ(grids[0].shards.size(), 3u);
+}
+
+TEST(Status, SeparatesDifferentGrids)
+{
+    // The same experiment at two scales forms two distinct grids.
+    std::vector<LoadedReport> inputs;
+    for (double scale : {0.1, 0.2}) {
+        Json doc = runMode("sec321", scale, BenchContext::CellMode::Run);
+        LoadedReport report;
+        std::string err;
+        ASSERT_TRUE(loadReportText(doc.dump(2), "full", report, err)) << err;
+        inputs.push_back(std::move(report));
+    }
+    auto grids = gridStatus(inputs);
+    ASSERT_EQ(grids.size(), 2u);
+    EXPECT_TRUE(grids[0].complete());
+    EXPECT_TRUE(grids[1].complete());
+    EXPECT_NE(grids[0].fingerprint, grids[1].fingerprint);
+}
+
 TEST(Diff, NumericToleranceAndIgnores)
 {
     Json a = Json::object();

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Event-skipping equivalence and large-organization regression tests.
+ *
+ * Event skipping must be bit-compatible with cycle-by-cycle simulation:
+ * every RunResult field of a skipping run equals the reference run, and
+ * SkipMode::kVerify (cycle-by-cycle execution that asserts every skip
+ * claim) must complete without tripping. The scheduler must also handle
+ * organizations with more than 64 flat banks, which used to hit a
+ * stack-array panic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace bh
+{
+namespace
+{
+
+ExperimentConfig
+shortConfig(const std::string &mechanism)
+{
+    ExperimentConfig cfg;
+    cfg.mechanism = mechanism;
+    cfg.nRH = 512;
+    cfg.refwMs = 0.25;
+    cfg.warmupCycles = 60'000;
+    cfg.runCycles = 160'000;
+    cfg.threads = 4;
+    cfg.attack.numBanks = 8;
+    return cfg;
+}
+
+MixSpec
+attackMix()
+{
+    MixSpec mix;
+    mix.name = "attack";
+    mix.apps = {kAttackAppName, "429.mcf", "450.soplex", "462.libquantum"};
+    return mix;
+}
+
+MixSpec
+benignMix()
+{
+    MixSpec mix;
+    mix.name = "benign";
+    mix.apps = {"429.mcf", "462.libquantum", "444.namd", "473.astar"};
+    return mix;
+}
+
+void
+expectEqualResults(const RunResult &a, const RunResult &b)
+{
+    ASSERT_EQ(a.ipc.size(), b.ipc.size());
+    for (std::size_t i = 0; i < a.ipc.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.ipc[i], b.ipc[i]) << "thread " << i;
+    EXPECT_DOUBLE_EQ(a.energyJ, b.energyJ);
+    EXPECT_EQ(a.bitFlips, b.bitFlips);
+    EXPECT_EQ(a.maxRowActs, b.maxRowActs);
+    EXPECT_EQ(a.demandActs, b.demandActs);
+    EXPECT_EQ(a.blockedActs, b.blockedActs);
+    EXPECT_EQ(a.victimRefreshes, b.victimRefreshes);
+    EXPECT_EQ(a.rowHits, b.rowHits);
+    EXPECT_EQ(a.rowMisses, b.rowMisses);
+    EXPECT_EQ(a.rowConflicts, b.rowConflicts);
+}
+
+void
+expectSkipEquivalence(const std::string &mechanism, const MixSpec &mix)
+{
+    ExperimentConfig ref = shortConfig(mechanism);
+    ref.skip = SkipMode::kCycleByCycle;
+    ExperimentConfig fast = shortConfig(mechanism);
+    fast.skip = SkipMode::kEventSkip;
+    RunResult a = runExperiment(ref, mix);
+    RunResult b = runExperiment(fast, mix);
+    expectEqualResults(a, b);
+}
+
+TEST(EventSkip, BitCompatibleOnAttackBlockHammer)
+{
+    expectSkipEquivalence("BlockHammer", attackMix());
+}
+
+TEST(EventSkip, BitCompatibleOnAttackBaseline)
+{
+    expectSkipEquivalence("Baseline", attackMix());
+}
+
+TEST(EventSkip, BitCompatibleOnBenignGraphene)
+{
+    expectSkipEquivalence("Graphene", benignMix());
+}
+
+TEST(EventSkip, BitCompatibleOnAttackPara)
+{
+    expectSkipEquivalence("PARA", attackMix());
+}
+
+TEST(EventSkip, VerifyModeAssertsEveryClaim)
+{
+    // kVerify panics (aborting the test) on any wrong skip claim.
+    ExperimentConfig cfg = shortConfig("BlockHammer");
+    cfg.skip = SkipMode::kVerify;
+    RunResult res = runExperiment(cfg, attackMix());
+    EXPECT_GT(res.demandActs, 0u);
+}
+
+TEST(EventSkip, ActuallySkipsOnThrottledAttack)
+{
+    ExperimentConfig cfg = shortConfig("BlockHammer");
+    auto system = buildSystem(cfg, attackMix());
+    system->run(cfg.warmupCycles + cfg.runCycles);
+    EXPECT_GT(system->skippedCycles(), 0u);
+}
+
+TEST(LargeOrg, EightRankDdr4RunsWithoutPanic)
+{
+    // 8 ranks x 16 banks = 128 flat banks: over the old kMaxBanks=64
+    // stack-array limit that panicked. The scheduler now sizes its state
+    // from the device.
+    SystemConfig sys_cfg;
+    sys_cfg.threads = 2;
+    sys_cfg.mem.org.ranks = 8;
+    ASSERT_GT(sys_cfg.mem.org.banksPerChannel(), 64u);
+    sys_cfg.mem.enableHammerObserver = false;
+
+    auto system = std::make_unique<System>(
+        sys_cfg, std::make_unique<NullMitigation>());
+    for (unsigned t = 0; t < sys_cfg.threads; ++t) {
+        auto trace = makeTrace("429.mcf", t, sys_cfg.threads,
+                               system->mem().mapper(), 7, AttackParams{});
+        system->setTrace(t, std::move(trace));
+    }
+    system->run(100'000);
+    EXPECT_GT(system->core(0).retired(), 0u);
+    EXPECT_GT(system->mem().controller().demandActivations(), 0u);
+}
+
+} // namespace
+} // namespace bh
