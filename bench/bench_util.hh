@@ -91,11 +91,21 @@ struct BenchContext
     double scale = 1.0;         ///< fidelity multiplier (cycles, mix counts)
     Runner *runner = nullptr;   ///< shared pool; set by the driver
     SkipMode skip = SkipMode::kEventSkip;   ///< bh_bench --skip MODE
+    unsigned channels = 1;      ///< DRAM channels per simulated system
+    unsigned channelThreads = 1;    ///< lane workers per cell (no effect
+                                    ///< on results, byte-identical)
     Json result = Json::object();   ///< machine-readable experiment output
 
     CellMode mode = CellMode::Run;
     ShardSpec shard;                ///< partition for CellMode::Run
     const Json *replayCells = nullptr;  ///< payload source for Replay
+    /**
+     * Resume filter: global cell indices already covered by existing
+     * shard files (bh_bench --resume). Owned cells in this set are not
+     * re-run; the partial output holds only the previously missing
+     * cells, ready for bh_collect merge.
+     */
+    const std::set<std::uint64_t> *resumeCovered = nullptr;
 
     Json cells = Json::object();    ///< recorded payloads by global index
     std::uint64_t nextCell = 0;     ///< next unassigned global cell index
@@ -140,6 +150,8 @@ struct BenchContext
             return false;
         if (mode == CellMode::Replay)
             return true;
+        if (resumeCovered && nextCell > 0)
+            return false;   // partial by construction: merge to aggregate
         return shard.count == 1 || nextCell == 0;
     }
 
@@ -184,6 +196,8 @@ benchConfig(const BenchContext &ctx, const std::string &mechanism,
     cfg.runCycles = static_cast<Cycle>(1'600'000 * ctx.scale);
     cfg.threads = 8;
     cfg.skip = ctx.skip;
+    cfg.channels = ctx.channels;
+    cfg.channelThreads = ctx.channelThreads;
     cfg.attack.numBanks = 16;
     return cfg;
 }

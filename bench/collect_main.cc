@@ -124,6 +124,7 @@ cmdMerge(const std::vector<std::string> &args)
         {
             BenchContext probe;
             probe.scale = merge.manifest.scale;
+            probe.channels = merge.manifest.channels;
             probe.runner = &runner;
             probe.mode = BenchContext::CellMode::Enumerate;
             runBench(*info, probe);
@@ -143,6 +144,7 @@ cmdMerge(const std::vector<std::string> &args)
         // Replay the experiment's aggregation over the merged payloads.
         BenchContext ctx;
         ctx.scale = merge.manifest.scale;
+        ctx.channels = merge.manifest.channels;
         ctx.runner = &runner;
         ctx.mode = BenchContext::CellMode::Replay;
         ctx.replayCells = &merge.cells;

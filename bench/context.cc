@@ -38,12 +38,17 @@ BenchContext::runCells(const std::string &label, std::size_t n,
     } else {
         // Block-local indices of the cells this shard owns; cells keep
         // their block-local index in `fn`, so a sharded run executes
-        // exactly the same fn(i) calls an unsharded run would.
+        // exactly the same fn(i) calls an unsharded run would. A resume
+        // run additionally drops cells that already exist on disk.
         std::vector<std::size_t> owned;
         owned.reserve(n);
-        for (std::size_t i = 0; i < n; ++i)
-            if (shardOwns(shard, first + i))
-                owned.push_back(i);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!shardOwns(shard, first + i))
+                continue;
+            if (resumeCovered && resumeCovered->count(first + i))
+                continue;
+            owned.push_back(i);
+        }
         if (!runner)
             panic("runCells: no runner configured");
         runner->forEach(owned.size(), [&](std::size_t k) {

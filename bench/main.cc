@@ -20,8 +20,10 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <set>
 
 #include "bench/registry.hh"
+#include "report/report.hh"
 
 namespace
 {
@@ -47,10 +49,115 @@ usage(std::FILE *out)
         "                default), off (cycle by cycle), or verify\n"
         "                (cycle by cycle, asserting every skip claim);\n"
         "                results are identical in all three modes\n"
+        "  --channels N  DRAM channels per simulated system (power of\n"
+        "                two, default 1); each channel gets its own\n"
+        "                controller and mitigation instance\n"
+        "  --channel-threads N\n"
+        "                worker threads ticking channel lanes inside\n"
+        "                each cell (default 1); results are\n"
+        "                byte-identical for any value\n"
         "  --shard I/N   run only the sweep cells shard I of N owns and\n"
         "                write partial reports for bh_collect merge\n"
+        "  --resume DIR  scan DIR for existing BENCH_*.json shards of\n"
+        "                the same grid and run only the cells they are\n"
+        "                missing, writing BENCH_<name>.resume<k>.json\n"
+        "                partials for bh_collect merge (default --out:\n"
+        "                DIR itself)\n"
         "  --out DIR     directory for the JSON outputs (default: .)\n"
         "  --help        this message\n");
+}
+
+/**
+ * Load every BENCH_*.json under `dir` that parses cleanly. Unreadable
+ * or truncated files — exactly what a crashed shard run leaves behind —
+ * are skipped with a warning: their cells count as missing and get
+ * re-run.
+ */
+std::vector<bh::LoadedReport>
+loadResumeReports(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec) || ec)
+        bh::fatal("--resume: %s is not a directory", dir.c_str());
+    auto it = fs::recursive_directory_iterator(dir, ec);
+    for (; !ec && it != fs::recursive_directory_iterator();
+         it.increment(ec)) {
+        std::error_code type_ec;
+        if (!it->is_regular_file(type_ec) || type_ec)
+            continue;
+        std::string name = it->path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            files.push_back(it->path().string());
+    }
+    if (ec)
+        bh::fatal("--resume: error scanning %s: %s", dir.c_str(),
+                  ec.message().c_str());
+    std::sort(files.begin(), files.end());
+
+    std::vector<bh::LoadedReport> reports;
+    for (const std::string &file : files) {
+        bh::LoadedReport report;
+        std::string err;
+        if (!loadReportFile(file, report, err)) {
+            std::fprintf(stderr,
+                         "bh_bench: --resume: skipping %s (%s); its cells "
+                         "count as missing\n", file.c_str(), err.c_str());
+            continue;
+        }
+        reports.push_back(std::move(report));
+    }
+    return reports;
+}
+
+/**
+ * Global cell indices of `experiment` already covered by loaded shard
+ * files whose grid fingerprint matches this binary's grid.
+ */
+std::set<std::uint64_t>
+coveredCells(const std::vector<bh::LoadedReport> &reports,
+             const std::string &experiment, const std::string &fingerprint)
+{
+    std::set<std::uint64_t> covered;
+    for (const auto &report : reports) {
+        if (report.manifest.experiment != experiment ||
+            report.manifest.fingerprint != fingerprint)
+            continue;
+        const bh::Json *cells = report.doc.find("cells");
+        if (!cells || cells->type() != bh::Json::Type::Object)
+            continue;
+        for (const auto &kv : cells->objectItems())
+            covered.insert(std::strtoull(kv.first.c_str(), nullptr, 10));
+    }
+    return covered;
+}
+
+/** True when any scanned report is a complete run of this exact grid. */
+bool
+haveCompleteReport(const std::vector<bh::LoadedReport> &reports,
+                   const std::string &experiment,
+                   const std::string &fingerprint)
+{
+    for (const auto &report : reports)
+        if (report.manifest.experiment == experiment &&
+            report.manifest.fingerprint == fingerprint &&
+            !report.manifest.partial)
+            return true;
+    return false;
+}
+
+/** First resume output path that does not collide with an existing file. */
+std::string
+resumeOutputPath(const std::string &out_dir, const std::string &experiment)
+{
+    for (unsigned k = 1;; ++k) {
+        std::string path = out_dir + "/BENCH_" + experiment + ".resume" +
+            std::to_string(k) + ".json";
+        if (!std::filesystem::exists(path))
+            return path;
+    }
 }
 
 } // namespace
@@ -63,9 +170,12 @@ main(int argc, char **argv)
     setVerbose(false);
     double scale = benchScale();
     unsigned jobs = 0;      // 0 = hardware concurrency
-    std::string out_dir = ".";
+    std::string out_dir;
+    std::string resume_dir;
     ShardSpec shard;
     SkipMode skip = SkipMode::kEventSkip;
+    unsigned channels = 1;
+    unsigned channel_threads = 1;
     bool list = false;
     std::vector<std::string> names;
 
@@ -102,6 +212,19 @@ main(int argc, char **argv)
                 skip = SkipMode::kVerify;
             else
                 fatal("--skip wants on, off, or verify, got '%s'", mode);
+        } else if (!std::strcmp(arg, "--channels")) {
+            int n = std::atoi(value());
+            if (n < 1 || n > 64 || !isPow2(static_cast<unsigned>(n)))
+                fatal("--channels must be a power of two in [1, 64], "
+                      "got '%d'", n);
+            channels = static_cast<unsigned>(n);
+        } else if (!std::strcmp(arg, "--channel-threads")) {
+            int n = std::atoi(value());
+            if (n < 1 || n > 64)
+                fatal("--channel-threads must be in [1, 64]");
+            channel_threads = static_cast<unsigned>(n);
+        } else if (!std::strcmp(arg, "--resume")) {
+            resume_dir = value();
         } else if (!std::strcmp(arg, "--shard")) {
             const char *spec = value();
             unsigned idx = 0, count = 0;
@@ -122,6 +245,12 @@ main(int argc, char **argv)
         }
     }
 
+    if (resume_dir.size() && shard.count > 1)
+        fatal("--resume and --shard are mutually exclusive: resume "
+              "derives its own cell subset from the missing set");
+    if (out_dir.empty())
+        out_dir = resume_dir.empty() ? "." : resume_dir;
+
     if (list) {
         // Enumerate the cell spaces without simulating anything, so the
         // counts guide the choice of N for --shard I/N.
@@ -130,6 +259,7 @@ main(int argc, char **argv)
         for (const auto &info : benchRegistry()) {
             BenchContext ctx;
             ctx.scale = scale;
+            ctx.channels = channels;
             ctx.runner = &runner;
             ctx.mode = BenchContext::CellMode::Enumerate;
             runBench(info, ctx);
@@ -163,20 +293,63 @@ main(int argc, char **argv)
     if (ec)
         fatal("cannot create output directory %s", out_dir.c_str());
 
+    std::vector<LoadedReport> resume_reports;
+    if (resume_dir.size())
+        resume_reports = loadResumeReports(resume_dir);
+
     Runner runner(jobs);
     std::printf("bh_bench: %zu experiment(s), %u worker(s), scale %.2g",
                 selected.size(), runner.jobs(), scale);
+    if (channels > 1)
+        std::printf(", %u channels (%u lane thread(s))", channels,
+                    channel_threads);
     if (shard.count > 1)
         std::printf(", shard %u/%u", shard.index, shard.count);
+    if (resume_dir.size())
+        std::printf(", resuming from %s", resume_dir.c_str());
     std::printf("\n\n");
 
     double total_s = 0.0;
     for (const BenchInfo *info : selected) {
         BenchContext ctx;
         ctx.scale = scale;
+        ctx.channels = channels;
+        ctx.channelThreads = channel_threads;
         ctx.runner = &runner;
         ctx.shard = shard;
         ctx.skip = skip;
+
+        std::set<std::uint64_t> covered;
+        if (resume_dir.size()) {
+            // Which cells of this binary's grid do the scanned shard
+            // files already hold? Fingerprint-mismatched files (other
+            // scale/channels, older binary) are simply not coverage.
+            BenchContext probe;
+            probe.scale = scale;
+            probe.channels = channels;
+            probe.runner = &runner;
+            probe.mode = BenchContext::CellMode::Enumerate;
+            runBench(*info, probe);
+            std::string fp = benchGridFingerprint(*info, probe);
+            covered = coveredCells(resume_reports, info->name, fp);
+            if (probe.nextCell > 0 && covered.size() >= probe.nextCell) {
+                std::printf("[%s: all %llu cells already on disk, "
+                            "skipping]\n\n", info->name,
+                            static_cast<unsigned long long>(probe.nextCell));
+                continue;
+            }
+            // Analytic experiments (no cells) are complete when any
+            // matching full report exists.
+            if (probe.nextCell == 0 &&
+                haveCompleteReport(resume_reports, info->name, fp)) {
+                std::printf("[%s: analytic report already on disk, "
+                            "skipping]\n\n", info->name);
+                continue;
+            }
+            // No usable coverage: fall through to a plain full run.
+            if (!covered.empty())
+                ctx.resumeCovered = &covered;
+        }
 
         auto t0 = std::chrono::steady_clock::now();
         runBench(*info, ctx);
@@ -184,12 +357,31 @@ main(int argc, char **argv)
         double secs = std::chrono::duration<double>(t1 - t0).count();
         total_s += secs;
 
-        std::string path = out_dir + "/BENCH_" + info->name + ".json";
+        std::string path = ctx.resumeCovered
+            ? resumeOutputPath(out_dir, info->name)
+            : out_dir + "/BENCH_" + std::string(info->name) + ".json";
+        // A resume run that found no usable coverage (the scanned files
+        // belong to another grid — different scale/channels or an older
+        // binary) falls back to a full run; refuse to silently clobber
+        // the mismatched file the user pointed us at.
+        if (resume_dir.size() && !ctx.resumeCovered &&
+            std::filesystem::exists(path)) {
+            fatal("--resume: %s exists but matches no cell of this grid "
+                  "(different --scale/--channels or binary version); "
+                  "move it aside or pass --out elsewhere", path.c_str());
+        }
         std::ofstream f(path);
         if (!f)
             fatal("cannot write %s", path.c_str());
         f << ctx.result.dump(2) << "\n";
-        if (shard.count > 1)
+        if (ctx.resumeCovered)
+            std::printf("[%s: resumed %llu missing of %llu cells, "
+                        "%.2f s -> %s; run bh_collect merge over %s]\n\n",
+                        info->name,
+                        static_cast<unsigned long long>(ctx.cellsRun),
+                        static_cast<unsigned long long>(ctx.nextCell),
+                        secs, path.c_str(), resume_dir.c_str());
+        else if (shard.count > 1)
             std::printf("[%s: shard %u/%u ran %llu of %llu cells, "
                         "%.2f s -> %s]\n\n",
                         info->name, shard.index, shard.count,

@@ -65,21 +65,22 @@ findBench(const std::string &name)
     return nullptr;
 }
 
-namespace
-{
-
 /**
  * Grid identity hash: two runs can only be merged when they agree on
- * the experiment, scale, cell space, and per-cell seeding scheme. The
- * cellSeed probe folds the seeding algorithm itself into the hash, so a
- * change to the seed mixing can never silently merge with old shards.
+ * the experiment, scale, channel count, cell space, and per-cell
+ * seeding scheme. The cellSeed probe folds the seeding algorithm itself
+ * into the hash, so a change to the seed mixing can never silently
+ * merge with old shards. Single-channel grids hash exactly as before
+ * this field existed, so pre-existing shard files stay mergeable.
  */
 std::string
-gridFingerprint(const BenchInfo &info, const BenchContext &ctx)
+benchGridFingerprint(const BenchInfo &info, const BenchContext &ctx)
 {
     std::uint64_t h = fnv1a64(strfmt("bench-format-%d", kBenchFormatVersion));
     h = fnv1a64(info.name, h);
     h = fnv1a64(Json::formatDouble(ctx.scale), h);
+    if (ctx.channels != 1)
+        h = fnv1a64(strfmt("channels-%u", ctx.channels), h);
     h = fnv1a64(std::to_string(ctx.nextCell), h);
     for (const auto &phase : ctx.phases) {
         h = fnv1a64(phase.label, h);
@@ -88,8 +89,6 @@ gridFingerprint(const BenchInfo &info, const BenchContext &ctx)
     h = fnv1a64(hex64(Runner::cellSeed(h, ctx.nextCell)), h);
     return hex64(h);
 }
-
-} // namespace
 
 void
 runBench(const BenchInfo &info, BenchContext &ctx)
@@ -114,10 +113,15 @@ runBench(const BenchInfo &info, BenchContext &ctx)
     manifest["scale"] = ctx.scale;
     manifest["shard_index"] = ctx.shard.index;
     manifest["shard_count"] = ctx.shard.count;
+    // Self-description only when non-default, keeping single-channel
+    // reports byte-identical to older binaries (the fingerprint already
+    // separates the grids).
+    if (ctx.channels != 1)
+        manifest["channels"] = ctx.channels;
     manifest["partial"] = !ctx.aggregate();
     manifest["cell_total"] = ctx.nextCell;
     manifest["cells_run"] = ctx.cellsRun;
-    manifest["fingerprint"] = gridFingerprint(info, ctx);
+    manifest["fingerprint"] = benchGridFingerprint(info, ctx);
     Json phases = Json::array();
     for (const auto &phase : ctx.phases) {
         Json p = Json::object();

@@ -43,6 +43,14 @@ const BenchInfo *findBench(const std::string &name);
  */
 void runBench(const BenchInfo &info, BenchContext &ctx);
 
+/**
+ * Grid identity hash of an experiment at the context's scale/channels:
+ * call after an Enumerate pass has filled ctx.phases/nextCell. Shards
+ * (and resume runs) only combine when their fingerprints agree.
+ */
+std::string benchGridFingerprint(const BenchInfo &info,
+                                 const BenchContext &ctx);
+
 } // namespace bh
 
 #endif // BH_BENCH_REGISTRY_HH

@@ -36,14 +36,21 @@ measure(BenchContext &ctx, const std::string &label,
             ExperimentConfig cfg = benchConfig(ctx, mode);
             auto system = buildSystem(cfg, mix);
             system->run(cfg.warmupCycles + cfg.runCycles);
-            auto *bh =
-                dynamic_cast<BlockHammer *>(&system->mem().mitigation());
-            if (bh == nullptr)
-                fatal("mechanism is not BlockHammer");
+            MemSystem &mem = system->mem();
             Json attack = Json::array();
             Json benign = Json::array();
             for (unsigned t = 0; t < cfg.threads; ++t) {
-                double rhli = bh->maxRhli(static_cast<ThreadId>(t));
+                // A thread's RHLI is its worst likelihood across the
+                // per-channel BlockHammer instances.
+                double rhli = 0.0;
+                for (unsigned ch = 0; ch < mem.channels(); ++ch) {
+                    auto *bh = dynamic_cast<BlockHammer *>(
+                        &mem.mitigation(ch));
+                    if (bh == nullptr)
+                        fatal("mechanism is not BlockHammer");
+                    rhli = std::max(
+                        rhli, bh->maxRhli(static_cast<ThreadId>(t)));
+                }
                 if (static_cast<int>(t) == mix.attackSlot())
                     attack.push(rhli);
                 else

@@ -30,21 +30,32 @@ benchSec84(BenchContext &ctx)
             ExperimentConfig cfg = benchConfig(ctx, "BlockHammer", nrh);
             auto system = buildSystem(cfg, mix);
             system->run(cfg.warmupCycles + cfg.runCycles);
-            auto *bh =
-                dynamic_cast<BlockHammer *>(&system->mem().mitigation());
-            Json cell = Json::object();
-            cell["acts"] = bh->totalActivations();
-            cell["delayed"] = bh->delayedActivations();
-            cell["fps"] = bh->falsePositiveActivations();
-            cell["tdelay"] = static_cast<std::int64_t>(
-                bh->rowBlocker().tDelay());
-            const Histogram &h = bh->delayHistogram();
-            // Summarize each mix's delay distribution by its percentile
-            // points; the aggregation below re-samples them.
+            MemSystem &mem = system->mem();
+            // Counters merge across the per-channel BlockHammer
+            // instances; each instance's delay distribution contributes
+            // its percentile points (tDelay is configuration-derived and
+            // identical on every channel).
+            std::uint64_t acts = 0, delayed = 0, fps = 0;
+            Cycle tdelay = 0;
             Json percentiles = Json::array();
-            if (h.count() > 0)
-                for (double p : {10.0, 30.0, 50.0, 70.0, 90.0, 100.0})
-                    percentiles.push(h.percentile(p));
+            for (unsigned ch = 0; ch < mem.channels(); ++ch) {
+                auto *bh = dynamic_cast<BlockHammer *>(&mem.mitigation(ch));
+                if (bh == nullptr)
+                    fatal("mechanism is not BlockHammer");
+                acts += bh->totalActivations();
+                delayed += bh->delayedActivations();
+                fps += bh->falsePositiveActivations();
+                tdelay = bh->rowBlocker().tDelay();
+                const Histogram &h = bh->delayHistogram();
+                if (h.count() > 0)
+                    for (double p : {10.0, 30.0, 50.0, 70.0, 90.0, 100.0})
+                        percentiles.push(h.percentile(p));
+            }
+            Json cell = Json::object();
+            cell["acts"] = acts;
+            cell["delayed"] = delayed;
+            cell["fps"] = fps;
+            cell["tdelay"] = static_cast<std::int64_t>(tdelay);
             cell["delay_percentiles"] = std::move(percentiles);
             return cell;
         });

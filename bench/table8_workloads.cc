@@ -32,13 +32,25 @@ benchTable8(BenchContext &ctx)
             system->run(cfg.warmupCycles);
             system->startMeasurement();
 
-            // Snapshot thread-level counters at measurement start.
+            // Snapshot thread-level counters at measurement start,
+            // summed across channel lanes.
+            auto memStats = [&] {
+                ThreadMemStats sum;
+                MemSystem &mem = system->mem();
+                for (unsigned ch = 0; ch < mem.channels(); ++ch) {
+                    const auto &ts = mem.controller(ch).threadStats(0);
+                    sum.rowConflicts += ts.rowConflicts;
+                    sum.rowHits += ts.rowHits;
+                    sum.rowMisses += ts.rowMisses;
+                }
+                return sum;
+            };
             auto llc0 = system->llc()->threadStats(0);
-            auto mem0 = system->mem().controller().threadStats(0);
+            auto mem0 = memStats();
             std::uint64_t retired0 = system->core(0).retired();
             system->run(cfg.runCycles);
             auto llc1 = system->llc()->threadStats(0);
-            auto mem1 = system->mem().controller().threadStats(0);
+            auto mem1 = memStats();
 
             double kilo_instr =
                 static_cast<double>(system->core(0).retired() - retired0) /

@@ -9,8 +9,9 @@ namespace bh
 {
 
 HwCostModel::HwCostModel(const TechParams &params, unsigned banks_count,
-                         unsigned threads_count)
-    : tech(params), banks(banks_count), threads(threads_count)
+                         unsigned threads_count, unsigned channels_count)
+    : tech(params), banks(banks_count), threads(threads_count),
+      channels(channels_count)
 {
 }
 
@@ -58,7 +59,8 @@ HwCostModel::toCost(const std::string &name, const Storage &s) const
     double area_um2 = s.sramBits * tech.sramAreaUm2PerBit +
         s.camBits * tech.camAreaUm2PerBit;
     c.areaMm2 = area_um2 * 1e-6;
-    c.cpuAreaPct = 100.0 * (c.areaMm2 * 4.0) / tech.cpuDieMm2;  // 4 channels
+    // One mechanism instance per memory channel.
+    c.cpuAreaPct = 100.0 * (c.areaMm2 * channels) / tech.cpuDieMm2;
     c.accessEnergyPj =
         tech.accessEnergyPjPerSqrtBit * std::sqrt(s.sramBits) +
         tech.accessEnergyPjPerSqrtBit * tech.camEnergyFactor *

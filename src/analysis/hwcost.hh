@@ -60,8 +60,14 @@ struct Storage
 class HwCostModel
 {
   public:
+    /**
+     * Storage models are per channel (one mechanism instance per memory
+     * channel, Table 5); `channels` scales the whole-CPU area percentage.
+     * The default of 4 matches the paper's Xeon reference point.
+     */
     explicit HwCostModel(const TechParams &params = TechParams{},
-                         unsigned banks = 16, unsigned threads = 8);
+                         unsigned banks = 16, unsigned threads = 8,
+                         unsigned channels = 4);
 
     /**
      * Cost of `mechanism` configured for threshold `n_rh` under `timings`.
@@ -87,6 +93,7 @@ class HwCostModel
     TechParams tech;
     unsigned banks;
     unsigned threads;
+    unsigned channels;
 };
 
 } // namespace bh

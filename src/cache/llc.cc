@@ -36,7 +36,7 @@ Llc::access(Addr addr, bool is_write, ThreadId thread, Cycle now,
     if (!wbRetry.empty()) {
         tick(now);
         if (wbRetry.size() > 4)
-            return LlcResult::kReject;
+            return LlcResult::kRejectQueueFull;
     }
 
     Addr line = lineAddr(addr);
@@ -66,8 +66,8 @@ Llc::access(Addr addr, bool is_write, ThreadId thread, Cycle now,
 
     if (mshr.size() >= cfg.mshrs)
         return LlcResult::kReject;
-    if (mem.queueFull(ReqType::kRead))
-        return LlcResult::kReject;  // the fill submit would bounce anyway
+    if (mem.queueFull(ReqType::kRead, line * kLineBytes))
+        return LlcResult::kRejectQueueFull;  // the submit would bounce
 
     Request req;
     req.addr = line * kLineBytes;
@@ -88,7 +88,7 @@ Llc::access(Addr addr, bool is_write, ThreadId thread, Cycle now,
     };
 
     if (mem.submit(std::move(req)) != SubmitResult::kAccepted)
-        return LlcResult::kReject;
+        return LlcResult::kRejectQueueFull;
 
     MshrEntry entry;
     if (on_done)
@@ -129,7 +129,7 @@ Llc::installLine(Addr line, bool dirty, Cycle now)
 bool
 Llc::issueWriteback(Addr line, Cycle now)
 {
-    if (mem.queueFull(ReqType::kWrite))
+    if (mem.queueFull(ReqType::kWrite, line * kLineBytes))
         return false;
     Request wb;
     wb.addr = line * kLineBytes;

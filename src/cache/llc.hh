@@ -29,12 +29,20 @@ struct LlcConfig
     unsigned mshrs = 64;
 };
 
-/** Outcome of an LLC access attempt. */
+/**
+ * Outcome of an LLC access attempt. The two reject flavors tell the
+ * chunked multi-channel driver what has to happen before a retry can
+ * succeed: kReject clears only when a memory completion is delivered
+ * (MSHRs free at fill delivery), kRejectQueueFull clears when a channel
+ * lane drains its queues — which can happen on any lane tick, so a core
+ * in that state must keep retrying every cycle.
+ */
 enum class LlcResult
 {
-    kHit,       ///< on_done already invoked with completion cycle
-    kMiss,      ///< on_done will fire when the fill completes
-    kReject,    ///< resource pressure; retry next cycle
+    kHit,               ///< on_done already invoked with completion cycle
+    kMiss,              ///< on_done will fire when the fill completes
+    kReject,            ///< MSHR pressure; a completion delivery must land
+    kRejectQueueFull,   ///< queue/writeback backpressure; retry every cycle
 };
 
 /**
@@ -65,6 +73,13 @@ class Llc
 
     /** Retry stalled writebacks. Call every cycle. */
     void tick(Cycle now);
+
+    /**
+     * True when tick() is a provable no-op (no stalled writebacks to
+     * retry): the chunked multi-channel driver skips LLC ticks only
+     * while this holds.
+     */
+    bool quiet() const { return wbRetry.empty(); }
 
     const ThreadLlcStats &threadStats(ThreadId thread) const;
     std::uint64_t hits() const { return numHits; }

@@ -15,6 +15,8 @@ Core::Core(const CoreConfig &config, ThreadId thread_id, TraceSource &trace_src,
 void
 Core::tick(Cycle now)
 {
+    std::uint64_t stamp_at_entry = progressStamp();
+
     // Retire in order, up to retireWidth per cycle. A memory instruction at
     // the window head blocks retirement until its data has returned.
     // Runs of non-memory instructions retire in one arithmetic step.
@@ -41,6 +43,7 @@ Core::tick(Cycle now)
     // Issue in order, up to issueWidth per cycle, bounded by the window.
     // Bubble runs issue in one arithmetic step.
     bool stalled = false;
+    bool fetched = false;
     for (unsigned w = 0; w < cfg.issueWidth;) {
         std::uint64_t room = cfg.windowSize - (instrIssued - instrRetired);
         if (room == 0)
@@ -75,11 +78,21 @@ Core::tick(Cycle now)
             havePendingMem = true;
             pendingMem = entry;
         }
+        fetched = true;
         ++w;    // the fetch consumes this issue slot
     }
     lastTickStalled = stalled;
     if (stalled)
         ++numStallCycles;
+    // Quiet means repeating this tick stays behavior-identical until
+    // nextEventAt() or a completion delivery: nothing retired, issued,
+    // or fetched (fetches mutate state without moving the stamp), and
+    // any stall is delivery-bound — queue-full stalls probe lane state
+    // that can change on any controller tick, so they must re-run every
+    // cycle. This is the precondition for the chunked multi-channel
+    // driver to replace core ticks with noteSkippedCycles().
+    lastTickQuiet = !fetched && progressStamp() == stamp_at_entry &&
+        (!stalled || stallDeliveryBound);
 }
 
 Cycle
@@ -104,7 +117,11 @@ Core::nextEventAt() const
 bool
 Core::issueMemOp(Cycle now)
 {
-    // L1-MSHR-style bound on memory-level parallelism.
+    // L1-MSHR-style bound on memory-level parallelism. The bound drops
+    // by time alone (knownDone) or at a completion delivery — both
+    // boundaries the chunked driver observes, so this stall flavor is
+    // chunk-safe.
+    stallDeliveryBound = true;
     if (mlp->outstandingAt(now) >= cfg.maxOutstandingMem)
         return false;
 
@@ -121,10 +138,15 @@ Core::issueMemOp(Cycle now)
         state->knownDone.push(done);
     };
 
+    // Past the MLP gate, rejections hinge on queue/quota state a channel
+    // lane can change on any tick: the core must retry every cycle.
+    stallDeliveryBound = false;
+
     if (pendingMem.bypassCache || !llc) {
         // Cheap pre-gate: a full target queue rejects the submit anyway.
         if (mem.queueFull(pendingMem.isWrite ? ReqType::kWrite
-                                             : ReqType::kRead))
+                                             : ReqType::kRead,
+                          pendingMem.addr))
             return false;
         Request req;
         req.addr = pendingMem.addr;
@@ -148,14 +170,22 @@ Core::issueMemOp(Cycle now)
             // Stores are posted: retire once the LLC accepts them.
             LlcResult res = llc->access(pendingMem.addr, true, thread, now,
                                         nullptr);
-            if (res == LlcResult::kReject)
+            if (res == LlcResult::kReject) {
+                stallDeliveryBound = true;
+                return false;
+            }
+            if (res == LlcResult::kRejectQueueFull)
                 return false;
             slot->done = now + 1;
             mlp->knownDone.push(slot->done);
         } else {
             LlcResult res = llc->access(pendingMem.addr, false, thread, now,
                                         on_done);
-            if (res == LlcResult::kReject)
+            if (res == LlcResult::kReject) {
+                stallDeliveryBound = true;
+                return false;
+            }
+            if (res == LlcResult::kRejectQueueFull)
                 return false;
         }
     }

@@ -89,6 +89,16 @@ class Core
             numStallCycles += n;
     }
 
+    /**
+     * True when the last tick was provably repeatable: re-running it
+     * changes nothing (beyond replayable stall accounting) until
+     * nextEventAt() or an external completion delivery. Queue-full
+     * retries probe controller state every cycle and are never quiet
+     * while controllers are active; MLP/MSHR-bound stalls are, because
+     * they clear only by time or at a delivery boundary.
+     */
+    bool quietTick() const { return lastTickQuiet; }
+
     /** True if the trace ended and all work drained. */
     bool done() const { return traceEnded && pending.empty(); }
 
@@ -155,6 +165,9 @@ class Core
     TraceEntry pendingMem;
     bool traceEnded = false;
     bool lastTickStalled = false;
+    bool lastTickQuiet = false;
+    bool stallDeliveryBound = false;    ///< last rejection clears only at
+                                        ///< a known time or a delivery
     std::shared_ptr<MemSlot> retrySlot;     ///< completion slot, reused
                                             ///< across rejected attempts
 

@@ -9,11 +9,7 @@ AddressMapper::AddressMapper(const DramOrg &o, MapScheme scheme,
                              unsigned mop_width)
     : org(o)
 {
-    if (!isPow2(org.channels) || !isPow2(org.ranks) ||
-        !isPow2(org.bankGroups) || !isPow2(org.banksPerGroup) ||
-        !isPow2(org.rowsPerBank) || !isPow2(org.linesPerRow)) {
-        fatal("DramOrg dimensions must be powers of two");
-    }
+    org.validated();
 
     unsigned ch_bits = ceilLog2(org.channels);
     unsigned rk_bits = ceilLog2(org.ranks);
@@ -60,6 +56,12 @@ AddressMapper::addField(Field::Kind kind, unsigned width, unsigned sub_lo)
     if (width == 0)
         return;
     fields.push_back(Field{kind, totalBits, width, sub_lo});
+    if (kind == Field::kChannel) {
+        // Both schemes emit one contiguous channel field; channelOf()
+        // extracts it without a full decode.
+        channelLo = totalBits;
+        channelWidth = width;
+    }
     totalBits += width;
 }
 

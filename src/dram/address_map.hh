@@ -40,6 +40,20 @@ class AddressMapper
     /** Decode a byte address into DRAM coordinates. */
     DramCoord decode(Addr byte_addr) const;
 
+    /**
+     * Channel bits of a byte address only (cheap steering query for
+     * per-channel admission checks; equals decode(addr).channel).
+     */
+    unsigned
+    channelOf(Addr byte_addr) const
+    {
+        if (org.channels == 1)
+            return 0;
+        Addr line = byte_addr / kLineBytes;
+        return static_cast<unsigned>(
+            bits(line, channelLo, channelWidth));
+    }
+
     /** Inverse of decode (returns the base byte address of the line). */
     Addr encode(const DramCoord &coord) const;
 
@@ -63,6 +77,8 @@ class AddressMapper
     DramOrg org;
     std::vector<Field> fields;
     unsigned totalBits = 0;
+    unsigned channelLo = 0;         ///< channel field position (channelOf)
+    unsigned channelWidth = 0;
 };
 
 } // namespace bh

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/bitutils.hh"
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace bh
@@ -24,6 +25,31 @@ struct DramOrg
     unsigned banksPerGroup = 4;
     unsigned rowsPerBank = 65536;
     unsigned linesPerRow = 128;     ///< 8 KB row / 64 B lines
+
+    /**
+     * True when every dimension honors the power-of-two invariant the
+     * address mapper's bit-field layout depends on.
+     */
+    bool
+    feasible() const
+    {
+        return channels > 0 && isPow2(channels) && isPow2(ranks) &&
+            isPow2(bankGroups) && isPow2(banksPerGroup) &&
+            isPow2(rowsPerBank) && isPow2(linesPerRow);
+    }
+
+    /** Fail loudly on a non-power-of-two geometry (e.g. --channels 3). */
+    const DramOrg &
+    validated() const
+    {
+        if (!feasible())
+            fatal("DramOrg dimensions must be powers of two "
+                  "(channels=%u ranks=%u bankGroups=%u banksPerGroup=%u "
+                  "rowsPerBank=%u linesPerRow=%u)",
+                  channels, ranks, bankGroups, banksPerGroup, rowsPerBank,
+                  linesPerRow);
+        return *this;
+    }
 
     /** Total banks per rank. */
     unsigned banksPerRank() const { return bankGroups * banksPerGroup; }
@@ -42,23 +68,26 @@ struct DramOrg
     /** Total bytes of DRAM. */
     std::uint64_t totalBytes() const { return totalLines() * kLineBytes; }
 
-    /** Paper configuration (Table 5). */
+    /** Paper configuration (Table 5), optionally widened to N channels. */
     static DramOrg
-    paperConfig()
+    paperConfig(unsigned num_channels = 1)
     {
-        return DramOrg{};
+        DramOrg o;
+        o.channels = num_channels;
+        return o.validated();
     }
 
     /** Tiny geometry for fast unit tests. */
     static DramOrg
-    tinyConfig()
+    tinyConfig(unsigned num_channels = 1)
     {
         DramOrg o;
+        o.channels = num_channels;
         o.bankGroups = 2;
         o.banksPerGroup = 2;
         o.rowsPerBank = 256;
         o.linesPerRow = 16;
-        return o;
+        return o.validated();
     }
 };
 

@@ -290,8 +290,14 @@ MemController::issueColumn(SchedQueue &queue, SchedQueue::Handle h,
     if (req.type == ReqType::kRead)
         noteInflight(req.thread, fb, -1);
     stats.sample("mc.latency", done - req.arrival);
-    if (req.onComplete)
-        req.onComplete(done);
+    if (req.onComplete) {
+        if (completionSink) {
+            completionSink->push_back(DeferredCompletion{
+                done, completionSeq++, std::move(req.onComplete)});
+        } else {
+            req.onComplete(done);
+        }
+    }
 }
 
 bool

@@ -47,6 +47,21 @@ struct ControllerConfig
     unsigned rowHitCap = 8;
 };
 
+/**
+ * A read completion the controller produced but has not yet delivered to
+ * the requester. Multi-channel systems tick their channel lanes without
+ * touching shared core/LLC state; completions are buffered here (with the
+ * lane-local sequence number that makes cross-lane delivery order
+ * deterministic) and invoked by the driver at cycle `done`, the cycle the
+ * data semantically returns.
+ */
+struct DeferredCompletion
+{
+    Cycle done = 0;
+    std::uint64_t seq = 0;          ///< lane-local, monotonic
+    std::function<void(Cycle)> fn;
+};
+
 /** Per-thread row-buffer interaction counters. */
 struct ThreadMemStats
 {
@@ -156,6 +171,18 @@ class MemController
      */
     void setFastIdleTicks(bool enabled) { fastIdleTicks = enabled; }
 
+    /**
+     * Divert read-completion callbacks into `sink` instead of invoking
+     * them inline during tick(). Multi-channel lanes set this so their
+     * ticks never touch shared core/LLC state (the driver delivers the
+     * buffered completions at cycle `done`); nullptr (the single-channel
+     * default) restores the inline legacy behavior.
+     */
+    void setCompletionSink(std::vector<DeferredCompletion> *sink)
+    {
+        completionSink = sink;
+    }
+
     /** Publish counters into `stats` (call once after a run). */
     void syncStats();
 
@@ -195,6 +222,9 @@ class MemController
     bool drainToggle = false;
     Cycle nextRefreshAt;
     bool refreshPending = false;
+
+    std::vector<DeferredCompletion> *completionSink = nullptr;
+    std::uint64_t completionSeq = 0;
 
     std::vector<int> inflightCount;     ///< [thread * banks + bank]
     std::vector<unsigned> hitStreak;    ///< consecutive row hits per bank

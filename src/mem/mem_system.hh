@@ -1,15 +1,28 @@
 /**
  * @file
- * Single-channel memory system: glues together address mapping, the DRAM
- * device, energy model, RowHammer failure oracle, the controller, and the
- * installed mitigation mechanism. Enforces AttackThrottler-style quotas at
- * the admission boundary.
+ * Multi-channel memory system: one channel lane per DRAM channel, each
+ * with its own controller, DRAM device, scheduler queues, energy model,
+ * RowHammer failure oracle, and mitigation-mechanism instance (the paper
+ * evaluates one BlockHammer instance per channel, Table 5). The address
+ * mapper steers requests to lanes by their channel bits; admission
+ * (AttackThrottler quotas, queue-full gating) is checked against the
+ * target lane.
+ *
+ * Lanes are self-contained: a lane's tick touches only lane-local state,
+ * so the driver may tick different lanes on different threads. Read
+ * completions are buffered per lane (see DeferredCompletion) and the
+ * driver delivers them to cores/the LLC at cycle `done`, in
+ * (done, channel, lane-sequence) order — byte-identical results for any
+ * worker count. Single-channel systems keep the legacy inline-callback
+ * path bit-for-bit.
  */
 
 #ifndef BH_MEM_MEM_SYSTEM_HH
 #define BH_MEM_MEM_SYSTEM_HH
 
 #include <memory>
+#include <queue>
+#include <vector>
 
 #include "dram/address_map.hh"
 #include "mem/controller.hh"
@@ -41,40 +54,159 @@ enum class SubmitResult
 class MemSystem
 {
   public:
+    /**
+     * Multi-channel constructor: one mitigation instance per channel
+     * (`mitigations.size()` must equal `config.org.channels`).
+     */
+    MemSystem(const MemSystemConfig &config,
+              std::vector<std::unique_ptr<Mitigation>> mitigations);
+
+    /** Single-channel convenience constructor (org.channels must be 1). */
     MemSystem(const MemSystemConfig &config,
               std::unique_ptr<Mitigation> mitigation);
 
-    /** Decode, check quota, and enqueue a request. */
+    /** Decode, check quota, and enqueue a request on its channel lane. */
     SubmitResult submit(Request req);
 
-    /** Would a request of `type` be rejected for a full queue right now? */
+    /** Would a request of `type` to `addr` bounce off a full queue? */
+    bool queueFull(ReqType type, Addr addr) const;
+
+    /** Single-channel queue-full check (fatal on multi-channel systems). */
     bool queueFull(ReqType type) const;
 
-    /** Advance one cycle. */
-    void tick(Cycle now) { ctrl->tick(now); }
+    /** Advance every lane one memory-controller cycle (serially). */
+    void tick(Cycle now);
 
-    /** Total DRAM energy in Joules up to `now`. */
+    /** Total DRAM energy in Joules across all lanes up to `now`. */
     double totalEnergy(Cycle now);
 
-    MemController &controller() { return *ctrl; }
-    const MemController &controller() const { return *ctrl; }
-    DramDevice &device() { return *dram; }
+    /** Number of channel lanes. */
+    unsigned channels() const
+    {
+        return static_cast<unsigned>(lanes.size());
+    }
+
+    /** Per-channel component access. */
+    MemController &controller(unsigned ch) { return *lanes[ch].ctrl; }
+    const MemController &controller(unsigned ch) const
+    {
+        return *lanes[ch].ctrl;
+    }
+    DramDevice &device(unsigned ch) { return *lanes[ch].dram; }
+    Mitigation &mitigation(unsigned ch) { return *lanes[ch].mitig; }
+    HammerObserver *hammerObserver(unsigned ch)
+    {
+        return lanes[ch].hammer.get();
+    }
+    DramEnergyModel *energyModel(unsigned ch)
+    {
+        return lanes[ch].energy.get();
+    }
+
+    /**
+     * Single-channel convenience accessors: existing single-channel
+     * tests/tools read naturally; calling them on a multi-channel system
+     * is a bug and fails loudly.
+     */
+    MemController &controller() { return *soleLane().ctrl; }
+    const MemController &controller() const { return *soleLane().ctrl; }
+    DramDevice &device() { return *soleLane().dram; }
+    Mitigation &mitigation() { return *soleLane().mitig; }
+    HammerObserver *hammerObserver() { return soleLane().hammer.get(); }
+    DramEnergyModel *energyModel() { return soleLane().energy.get(); }
+
     const AddressMapper &mapper() const { return *map; }
-    Mitigation &mitigation() { return *mitig; }
-    HammerObserver *hammerObserver() { return hammer.get(); }
-    DramEnergyModel *energyModel() { return energy.get(); }
 
     /** Number of rejected submissions due to quota (throttling pressure). */
     std::uint64_t quotaRejects() const { return numQuotaRejects; }
 
+    // ---- driver hooks (System::run) ------------------------------------
+
+    /** Sum of every lane's activity stamp (quiescence check). */
+    std::uint64_t activityStamp() const;
+
+    /** True when every lane's last tick was idle (see MemController). */
+    bool allIdleSinceLastTick() const;
+
+    /** Min over lanes of the controller's next-event bound. */
+    Cycle nextEventAt(Cycle now);
+
+    /** Replay `n` skipped idle ticks on every lane. */
+    void noteSkippedTicks(std::uint64_t n);
+
+    /**
+     * Move the per-lane completion buffers into the delivery heap, in
+     * channel order. Call after lane ticks (serial or at a chunk
+     * barrier); multi-channel only.
+     */
+    void flushCompletions();
+
+    /** Invoke every buffered completion with done <= now, in order. */
+    void deliverCompletionsDue(Cycle now);
+
+    /** Earliest pending delivery, or kNoEventCycle when none. */
+    Cycle nextCompletionAt() const;
+
+    /**
+     * Lower bound on (completion cycle - issue cycle) of any read or
+     * write the controllers can complete: a chunk of lane ticks whose
+     * length stays below this bound can never delay a delivery past its
+     * due cycle.
+     */
+    Cycle minCompletionLatency() const;
+
   private:
+    /** Everything one memory channel owns. */
+    struct Lane
+    {
+        std::unique_ptr<DramDevice> dram;
+        std::unique_ptr<DramEnergyModel> energy;
+        std::unique_ptr<HammerObserver> hammer;
+        std::unique_ptr<Mitigation> mitig;
+        std::unique_ptr<MemController> ctrl;
+        std::vector<DeferredCompletion> completions;
+    };
+
+    Lane &
+    soleLane()
+    {
+        if (lanes.size() != 1)
+            panic("single-channel MemSystem accessor used on a %zu-channel "
+                  "system; pass a channel index",
+                  lanes.size());
+        return lanes[0];
+    }
+
+    const Lane &
+    soleLane() const
+    {
+        return const_cast<MemSystem *>(this)->soleLane();
+    }
+
+    /** Delivery-heap entry: ordered by (done, channel, lane seq). */
+    struct PendingDelivery
+    {
+        Cycle done;
+        unsigned channel;
+        std::uint64_t seq;
+        std::shared_ptr<std::function<void(Cycle)>> fn;
+
+        bool
+        operator>(const PendingDelivery &o) const
+        {
+            if (done != o.done)
+                return done > o.done;
+            if (channel != o.channel)
+                return channel > o.channel;
+            return seq > o.seq;
+        }
+    };
+
     MemSystemConfig cfg;
     std::unique_ptr<AddressMapper> map;
-    std::unique_ptr<DramDevice> dram;
-    std::unique_ptr<DramEnergyModel> energy;
-    std::unique_ptr<HammerObserver> hammer;
-    std::unique_ptr<Mitigation> mitig;
-    std::unique_ptr<MemController> ctrl;
+    std::vector<Lane> lanes;
+    std::priority_queue<PendingDelivery, std::vector<PendingDelivery>,
+                        std::greater<PendingDelivery>> pendingDeliveries;
     std::uint64_t numQuotaRejects = 0;
 };
 

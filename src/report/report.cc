@@ -88,6 +88,14 @@ parseManifest(const Json &doc, RunManifest &out, std::string &err)
         return false;
     }
     out.scale = v->asDouble();
+    out.channels = 1;
+    if ((v = m->find("channels"))) {
+        if (v->type() != Json::Type::Int || v->asInt() < 1) {
+            err = "manifest member 'channels' is not a positive integer";
+            return false;
+        }
+        out.channels = static_cast<unsigned>(v->asInt());
+    }
     if (!(v = member(*m, "shard_index", Json::Type::Int, err)))
         return false;
     out.shardIndex = static_cast<unsigned>(v->asInt());

@@ -44,6 +44,13 @@ struct RunManifest
     int formatVersion = kBenchFormatVersion;
     std::string experiment;
     double scale = 1.0;
+    /**
+     * DRAM channels per simulated system. Optional in the document
+     * (omitted, meaning 1, by single-channel runs — which therefore stay
+     * byte-identical to reports from older binaries); the grid
+     * fingerprint separates differently-channeled grids regardless.
+     */
+    unsigned channels = 1;
     unsigned shardIndex = 0;
     unsigned shardCount = 1;
     bool partial = false;           ///< cells only, aggregation skipped

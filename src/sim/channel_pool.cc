@@ -1,0 +1,97 @@
+#include "sim/channel_pool.hh"
+
+namespace bh
+{
+
+ChannelPool::ChannelPool(unsigned threads)
+    : numThreads(threads < 1 ? 1 : threads)
+{
+    for (unsigned t = 1; t < numThreads; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ChannelPool::~ChannelPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    wakeCv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ChannelPool::run(unsigned n, const std::function<void(unsigned)> &fn)
+{
+    if (n == 0)
+        return;
+    if (numThreads <= 1 || n == 1) {
+        for (unsigned i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        roundFn = &fn;
+        roundItems = n;
+        nextItem = 0;
+        itemsDone = 0;
+        ++round;
+    }
+    wakeCv.notify_all();
+
+    // The dispatching thread claims items too, then waits out the tail.
+    for (;;) {
+        unsigned i;
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (nextItem >= roundItems)
+                break;
+            i = nextItem++;
+        }
+        fn(i);
+        std::lock_guard<std::mutex> lock(mtx);
+        ++itemsDone;
+    }
+
+    std::unique_lock<std::mutex> lock(mtx);
+    doneCv.wait(lock, [this] { return itemsDone == roundItems; });
+    roundFn = nullptr;
+}
+
+void
+ChannelPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(unsigned)> *fn = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            wakeCv.wait(lock, [&] {
+                return stopping || (round != seen && roundFn);
+            });
+            if (stopping)
+                return;
+            seen = round;
+            fn = roundFn;
+        }
+        for (;;) {
+            unsigned i;
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                if (round != seen || nextItem >= roundItems)
+                    break;
+                i = nextItem++;
+            }
+            (*fn)(i);
+            std::lock_guard<std::mutex> lock(mtx);
+            bool all = ++itemsDone == roundItems;
+            if (all)
+                doneCv.notify_all();
+        }
+    }
+}
+
+} // namespace bh

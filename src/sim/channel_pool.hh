@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small persistent worker pool that ticks channel lanes concurrently
+ * inside one simulated system.
+ *
+ * Unlike the cell-level Runner (one task queue feeding long-lived bench
+ * cells), this pool is built for very frequent, very short fork/join
+ * rounds: System::run dispatches one round per chunk of lane ticks and
+ * blocks on the barrier. Determinism does not depend on this pool at
+ * all — lane work is data-independent and results are identical whether
+ * a round runs here or inline — so the driver is free to bypass the pool
+ * for chunks too small to amortize the wake-up cost.
+ */
+
+#ifndef BH_SIM_CHANNEL_POOL_HH
+#define BH_SIM_CHANNEL_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bh
+{
+
+/** Fork/join pool for per-channel lane work. */
+class ChannelPool
+{
+  public:
+    /** @param threads worker count; <= 1 means run() executes inline. */
+    explicit ChannelPool(unsigned threads);
+    ~ChannelPool();
+
+    ChannelPool(const ChannelPool &) = delete;
+    ChannelPool &operator=(const ChannelPool &) = delete;
+
+    /** Number of threads participating in a round (>= 1). */
+    unsigned threads() const { return numThreads; }
+
+    /**
+     * Execute fn(0..n-1) across the pool (the calling thread works too)
+     * and return once all n items completed. fn must not touch shared
+     * mutable state across items.
+     */
+    void run(unsigned n, const std::function<void(unsigned)> &fn);
+
+  private:
+    void workerLoop();
+
+    unsigned numThreads;
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable wakeCv;     ///< workers wait for a round
+    std::condition_variable doneCv;     ///< run() waits for the barrier
+    std::uint64_t round = 0;            ///< bumped per run() dispatch
+    unsigned roundItems = 0;
+    unsigned nextItem = 0;              ///< next unclaimed item
+    unsigned itemsDone = 0;
+    const std::function<void(unsigned)> *roundFn = nullptr;
+    bool stopping = false;
+};
+
+} // namespace bh
+
+#endif // BH_SIM_CHANNEL_POOL_HH

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -31,7 +32,7 @@ ExperimentConfig::timings() const
 }
 
 MitigationSettings
-ExperimentConfig::mitigationSettings() const
+ExperimentConfig::mitigationSettings(unsigned channel) const
 {
     MitigationSettings s;
     s.nRH = nRH;
@@ -40,7 +41,9 @@ ExperimentConfig::mitigationSettings() const
     s.banks = 16;
     s.rowsPerBank = 65536;
     s.threads = threads;
-    s.seed = seed;
+    // Channel 0 keeps the raw seed (bit-stable single-channel runs);
+    // other channels' probabilistic mechanisms draw decorrelated streams.
+    s.seed = seed + channel * 0x9e3779b97f4a7c15ull;
     return s;
 }
 
@@ -54,14 +57,18 @@ buildSystem(const ExperimentConfig &config, const MixSpec &mix)
     SystemConfig sys_cfg;
     sys_cfg.threads = config.threads;
     sys_cfg.skip = config.skip;
+    sys_cfg.mem.org = DramOrg::paperConfig(config.channels);
     sys_cfg.mem.timings = config.timings();
     sys_cfg.mem.hammer.nRH = config.nRH;
     sys_cfg.mem.hammer.blastRadius = 1;     // double-sided attack model
     sys_cfg.mem.enableHammerObserver = config.hammerObserver;
+    sys_cfg.channelThreads = config.channelThreads;
 
-    MitigationSettings mit = config.mitigationSettings();
     auto system = std::make_unique<System>(
-        sys_cfg, makeMitigation(config.mechanism, mit));
+        sys_cfg, [&config](unsigned ch) {
+            return makeMitigation(config.mechanism,
+                                  config.mitigationSettings(ch));
+        });
 
     for (unsigned slot = 0; slot < config.threads; ++slot) {
         auto trace = makeTrace(mix.apps[slot], slot, config.threads,
@@ -100,17 +107,23 @@ runExperiment(const ExperimentConfig &config, const MixSpec &mix)
         res.isAttack.push_back(mix.apps[t] == kAttackAppName);
     }
     res.energyJ = system->energy();
-    if (auto *hammer = system->mem().hammerObserver()) {
-        res.bitFlips = hammer->bitFlips().size();
-        res.maxRowActs = hammer->maxRowActivations();
+    // Merge per-channel state deterministically by channel index: counters
+    // and flips sum; the per-row activation bound is a maximum.
+    MemSystem &mem = system->mem();
+    for (unsigned ch = 0; ch < mem.channels(); ++ch) {
+        if (auto *hammer = mem.hammerObserver(ch)) {
+            res.bitFlips += hammer->bitFlips().size();
+            res.maxRowActs = std::max(res.maxRowActs,
+                                      hammer->maxRowActivations());
+        }
+        auto &mc = mem.controller(ch);
+        res.demandActs += mc.demandActivations();
+        res.blockedActs += mc.blockedActQueries();
+        res.victimRefreshes += mc.victimRefreshesDone();
+        res.rowHits += mc.rowHits();
+        res.rowMisses += mc.rowMisses();
+        res.rowConflicts += mc.rowConflicts();
     }
-    auto &mc = system->mem().controller();
-    res.demandActs = mc.demandActivations();
-    res.blockedActs = mc.blockedActQueries();
-    res.victimRefreshes = mc.victimRefreshesDone();
-    res.rowHits = mc.rowHits();
-    res.rowMisses = mc.rowMisses();
-    res.rowConflicts = mc.rowConflicts();
     return res;
 }
 
@@ -127,14 +140,16 @@ RunResult::benignIpc() const
 double
 aloneIpc(const ExperimentConfig &config, const std::string &app)
 {
-    using Key = std::tuple<std::string, Cycle, Cycle, std::uint64_t, double>;
+    using Key = std::tuple<std::string, Cycle, Cycle, std::uint64_t, double,
+                           unsigned>;
     // Guarded for the parallel runner: concurrent cells may race to fill
     // the same key; both compute the same deterministic value, so the
     // lock only protects the map structure, not the result.
     static std::mutex cacheMutex;
     static std::map<Key, double> cache;
+    // channelThreads is deliberately absent: it cannot change results.
     Key key{app, config.runCycles, config.warmupCycles, config.seed,
-            config.refwMs};
+            config.refwMs, config.channels};
     {
         std::lock_guard<std::mutex> lock(cacheMutex);
         if (auto it = cache.find(key); it != cache.end())

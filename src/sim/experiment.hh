@@ -36,6 +36,17 @@ struct ExperimentConfig
     std::uint64_t seed = 1;
     bool hammerObserver = true;
     /**
+     * DRAM channels (power of two). Each channel gets its own controller,
+     * device, energy/hammer models, and mitigation instance (Table 5
+     * evaluates BlockHammer per channel).
+     */
+    unsigned channels = 1;
+    /**
+     * Worker threads ticking channel lanes inside this one run. Purely an
+     * execution knob: results are byte-identical for any value.
+     */
+    unsigned channelThreads = 1;
+    /**
      * Time-advance strategy. Event skipping is bit-compatible with
      * cycle-by-cycle simulation (kVerify asserts that); results never
      * depend on this knob.
@@ -49,8 +60,13 @@ struct ExperimentConfig
     /** DRAM timings with the compressed refresh window. */
     DramTimings timings() const;
 
-    /** Mitigation settings consistent with this experiment. */
-    MitigationSettings mitigationSettings() const;
+    /**
+     * Mitigation settings consistent with this experiment, for one
+     * channel's instance. Channel 0 keeps the experiment seed (so
+     * single-channel runs are bit-stable vs older binaries); further
+     * channels get decorrelated derived seeds.
+     */
+    MitigationSettings mitigationSettings(unsigned channel = 0) const;
 };
 
 /** Collected results of one run. */

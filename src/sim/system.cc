@@ -7,18 +7,48 @@
 namespace bh
 {
 
-System::System(const SystemConfig &config,
-               std::unique_ptr<Mitigation> mitigation)
+namespace
+{
+
+std::vector<std::unique_ptr<Mitigation>>
+buildPerChannel(const SystemConfig &cfg, const MitigationFactory &factory)
+{
+    std::vector<std::unique_ptr<Mitigation>> v;
+    for (unsigned ch = 0; ch < cfg.mem.org.channels; ++ch)
+        v.push_back(factory(ch));
+    return v;
+}
+
+} // namespace
+
+System::System(const SystemConfig &config, const MitigationFactory &factory)
     : cfg(config)
 {
-    memSys = std::make_unique<MemSystem>(cfg.mem, std::move(mitigation));
+    memSys = std::make_unique<MemSystem>(
+        cfg.mem, buildPerChannel(cfg, factory));
     // --skip off is the end-to-end reference: no fast paths anywhere.
-    memSys->controller().setFastIdleTicks(
-        cfg.skip != SkipMode::kCycleByCycle);
+    for (unsigned ch = 0; ch < memSys->channels(); ++ch)
+        memSys->controller(ch).setFastIdleTicks(
+            cfg.skip != SkipMode::kCycleByCycle);
+    if (cfg.channelThreads > 1 && memSys->channels() > 1)
+        lanePool = std::make_unique<ChannelPool>(
+            std::min(cfg.channelThreads, memSys->channels()));
     if (cfg.useLlc)
         llcPtr = std::make_unique<Llc>(cfg.llc, *memSys);
     traces.resize(cfg.threads);
     cores.resize(cfg.threads);
+}
+
+System::System(const SystemConfig &config,
+               std::unique_ptr<Mitigation> mitigation)
+    : System(config,
+             [&mitigation](unsigned ch) {
+                 if (ch != 0 || !mitigation)
+                     fatal("System: a multi-channel system needs a "
+                           "MitigationFactory (one instance per channel)");
+                 return std::move(mitigation);
+             })
+{
 }
 
 void
@@ -42,7 +72,7 @@ System::setTrace(unsigned slot, std::unique_ptr<TraceSource> trace,
 std::uint64_t
 System::progressStamp() const
 {
-    std::uint64_t s = memSys->controller().activityStamp();
+    std::uint64_t s = memSys->activityStamp();
     for (const auto &core : cores)
         s += core->progressStamp();
     if (llcPtr)
@@ -59,15 +89,105 @@ System::nextEventAt(Cycle end)
         if (e != kNoEventCycle)
             target = std::min(target, e);
     }
-    // The controller only acts on its own clock: align its event up to
+    // A pending completion delivery is an event: its callback mutates
+    // core/LLC state at exactly its due cycle (multi-channel only; the
+    // single-channel heap is always empty).
+    Cycle due = memSys->nextCompletionAt();
+    if (due != kNoEventCycle)
+        target = std::min(target, due);
+    // Controllers only act on their own clock: align their event up to
     // the next controller tick. (Core events stay cycle-exact.)
     Cycle divider = std::max<Cycle>(1, cfg.mcClockDivider);
-    Cycle mc = memSys->controller().nextEventAt(currentCycle);
+    Cycle mc = memSys->nextEventAt(currentCycle);
     if (mc != kNoEventCycle) {
         Cycle aligned = ((mc + divider - 1) / divider) * divider;
         target = std::min(target, aligned);
     }
     return std::max(target, currentCycle);
+}
+
+Cycle
+System::chunkTargetAt(Cycle end) const
+{
+    // Every core and the LLC must be provably quiet: their ticks over the
+    // chunk are no-ops given no completion delivery, so only lanes run.
+    for (const auto &core : cores)
+        if (!core->quietTick())
+            return currentCycle;
+    if (llcPtr && !llcPtr->quiet())
+        return currentCycle;
+
+    Cycle target = end;
+    // A core wakes on its own at its window head's known completion time.
+    for (const auto &core : cores) {
+        Cycle e = core->nextEventAt();
+        if (e != kNoEventCycle)
+            target = std::min(target, e);
+    }
+    // Already-buffered completions must be delivered at their due cycle.
+    Cycle due = memSys->nextCompletionAt();
+    if (due != kNoEventCycle)
+        target = std::min(target, due);
+    // Completions produced inside the chunk complete no earlier than
+    // first-lane-tick + minCompletionLatency; ending the chunk there
+    // guarantees no delivery ever lands mid-chunk.
+    Cycle divider = std::max<Cycle>(1, cfg.mcClockDivider);
+    Cycle first_mc = ((currentCycle + divider - 1) / divider) * divider;
+    target = std::min(target, first_mc + memSys->minCompletionLatency());
+    return std::max(target, currentCycle);
+}
+
+void
+System::runLaneChunk(Cycle target)
+{
+    Cycle divider = std::max<Cycle>(1, cfg.mcClockDivider);
+    Cycle first_mc = ((currentCycle + divider - 1) / divider) * divider;
+    unsigned channels = memSys->channels();
+    if (first_mc < target) {
+        std::uint64_t mc_ticks = static_cast<std::uint64_t>(
+            (target - first_mc + divider - 1) / divider);
+        auto tick_lane = [&](unsigned ch) {
+            MemController &ctrl = memSys->controller(ch);
+            Cycle c = first_mc;
+            while (c < target) {
+                ctrl.tick(c);
+                c += divider;
+                // A lane that just went idle replays the rest of its
+                // provably quiet ticks in one batched step — the same
+                // per-tick bookkeeping its internal fast path would do,
+                // so chunked and cycle-by-cycle stay bit-identical.
+                if (c >= target || !ctrl.idleSinceLastTick())
+                    continue;
+                Cycle bound = ctrl.nextEventAt(c - divider);
+                Cycle resume = ((bound + divider - 1) / divider) * divider;
+                Cycle stop = std::min(resume, target);
+                if (stop <= c)
+                    continue;
+                std::uint64_t k = static_cast<std::uint64_t>(
+                    (stop - c + divider - 1) / divider);
+                ctrl.noteSkippedTicks(k);
+                c += static_cast<Cycle>(k) * divider;
+            }
+        };
+        // The pool is a pure execution strategy: lane work is
+        // data-independent, so inline and pooled rounds are identical.
+        // Tiny chunks skip the wake-up cost.
+        if (lanePool && mc_ticks * channels >= 32) {
+            lanePool->run(channels, tick_lane);
+        } else {
+            for (unsigned ch = 0; ch < channels; ++ch)
+                tick_lane(ch);
+        }
+        memSys->flushCompletions();
+    }
+    // Quiet cores skip their ticks; delivery-bound stalled cores would
+    // have re-attempted (and failed) the same issue every cycle — replay
+    // that stall accounting exactly as the full-idle skip does.
+    std::uint64_t k_cpu = static_cast<std::uint64_t>(target - currentCycle);
+    for (auto &core : cores)
+        core->noteSkippedCycles(k_cpu);
+    numChunked += k_cpu;
+    currentCycle = target;
 }
 
 void
@@ -81,7 +201,13 @@ System::run(Cycle cycles)
     Cycle divider = std::max<Cycle>(1, cfg.mcClockDivider);
     unsigned n = static_cast<unsigned>(cores.size());
     bool track = cfg.skip != SkipMode::kCycleByCycle;
+    bool multi = memSys->channels() > 1;
     while (currentCycle < end) {
+        // Completions due this cycle mutate core/LLC state before any
+        // component ticks (multi-channel; single-channel delivers inline
+        // at issue, the legacy path).
+        if (multi)
+            memSys->deliverCompletionsDue(currentCycle);
         std::uint64_t before = track ? progressStamp() : 0;
         // Rotate the tick order so no core gets a systematic head start
         // when racing for shared queue slots.
@@ -98,8 +224,7 @@ System::run(Cycle cycles)
         if (!track)
             continue;
         bool progressed = progressStamp() != before;
-        bool idle = !progressed &&
-            memSys->controller().idleSinceLastTick();
+        bool idle = !progressed && memSys->allIdleSinceLastTick();
 
         if (cfg.skip == SkipMode::kVerify) {
             // Cross-check: any progress inside a previously claimed quiet
@@ -115,8 +240,18 @@ System::run(Cycle cycles)
             continue;
         }
 
-        if (!idle)
+        if (!idle) {
+            // Lanes busy, but cores/LLC quiet? Tick lanes alone over a
+            // barrier-synced chunk (bit-exact to cycle-by-cycle: see
+            // chunkTargetAt). Meaningless for one channel, where the
+            // whole cycle is the lane tick.
+            if (multi) {
+                Cycle target = chunkTargetAt(end);
+                if (target > currentCycle)
+                    runLaneChunk(target);
+            }
             continue;
+        }
         Cycle target = nextEventAt(end);
         if (target <= currentCycle)
             continue;
@@ -135,7 +270,7 @@ System::run(Cycle cycles)
         for (auto &core : cores)
             core->noteSkippedCycles(k_cpu);
         if (k_mc > 0)
-            memSys->controller().noteSkippedTicks(k_mc);
+            memSys->noteSkippedTicks(k_mc);
         numSkipped += k_cpu;
         currentCycle = target;
     }

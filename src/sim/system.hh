@@ -1,8 +1,9 @@
 /**
  * @file
- * Full-system composition: N trace-driven cores sharing an LLC in front of
- * one DRAM channel with an installed RowHammer mitigation mechanism
- * (the paper's Table 5 configuration).
+ * Full-system composition: N trace-driven cores sharing an LLC in front
+ * of a multi-channel memory system with one RowHammer mitigation
+ * instance per channel (the paper's Table 5 configuration is the
+ * single-channel special case).
  *
  * The driver loop supports event skipping: when a cycle passes with no
  * component making progress, the system queries every component for its
@@ -10,15 +11,27 @@
  * externally invisible) per-tick counters of the eliminated cycles. A
  * skipping run is bit-compatible with a cycle-by-cycle run; SkipMode
  * kVerify executes cycle-by-cycle while asserting every skip claim.
+ *
+ * Multi-channel systems additionally exploit deterministic intra-cell
+ * parallelism: while every core and the LLC are provably quiet, the
+ * per-channel lanes tick independently over barrier-synced chunks —
+ * optionally on a worker pool (SystemConfig::channelThreads) — with
+ * completions delivered at their semantic completion cycle in
+ * (cycle, channel, lane-order). Chunk boundaries are derived from
+ * simulation state only, so output is byte-identical for any
+ * channelThreads value, including 1, and for chunked vs cycle-by-cycle
+ * execution (see DESIGN.md, "channel lanes").
  */
 
 #ifndef BH_SIM_SYSTEM_HH
 #define BH_SIM_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/core.hh"
+#include "sim/channel_pool.hh"
 #include "workloads/mixes.hh"
 
 namespace bh
@@ -32,6 +45,10 @@ enum class SkipMode
     kVerify,        ///< tick every cycle, assert every skip claim
 };
 
+/** Builds the mitigation instance of one memory channel. */
+using MitigationFactory =
+    std::function<std::unique_ptr<Mitigation>(unsigned channel)>;
+
 /** Aggregate system configuration. */
 struct SystemConfig
 {
@@ -44,12 +61,22 @@ struct SystemConfig
     unsigned mcClockDivider = 2;
     /** Time-advance strategy (see SkipMode). */
     SkipMode skip = SkipMode::kEventSkip;
+    /**
+     * Worker threads ticking channel lanes (1 = all lanes on the driver
+     * thread). Purely an execution knob: results are byte-identical for
+     * any value.
+     */
+    unsigned channelThreads = 1;
 };
 
 /** A complete simulated system instance. */
 class System
 {
   public:
+    /** One mitigation instance per channel, built by `factory`. */
+    System(const SystemConfig &config, const MitigationFactory &factory);
+
+    /** Single-channel convenience constructor (mem.org.channels == 1). */
     System(const SystemConfig &config, std::unique_ptr<Mitigation> mitigation);
 
     /** Install the trace for one core slot (must precede run()). */
@@ -81,6 +108,9 @@ class System
     /** Cycles eliminated by event skipping so far (diagnostics). */
     std::uint64_t skippedCycles() const { return numSkipped; }
 
+    /** Core-quiet cycles covered by lane chunks so far (diagnostics). */
+    std::uint64_t chunkedCycles() const { return numChunked; }
+
     Core &core(unsigned slot) { return *cores[slot]; }
     const Core &core(unsigned slot) const { return *cores[slot]; }
     Llc *llc() { return llcPtr.get(); }
@@ -102,9 +132,20 @@ class System
     /** Earliest cycle in (now, end] at which any component can act. */
     Cycle nextEventAt(Cycle end);
 
+    /**
+     * Latest cycle <= `end` up to which every core and the LLC provably
+     * stay no-ops while only channel lanes tick (currentCycle when no
+     * such chunk exists). Derived from simulation state only.
+     */
+    Cycle chunkTargetAt(Cycle end) const;
+
+    /** Tick all lanes over [currentCycle, target) and jump there. */
+    void runLaneChunk(Cycle target);
+
     SystemConfig cfg;
     std::unique_ptr<MemSystem> memSys;
     std::unique_ptr<Llc> llcPtr;
+    std::unique_ptr<ChannelPool> lanePool;  ///< channelThreads > 1 only
     std::vector<std::unique_ptr<TraceSource>> traces;
     std::vector<std::unique_ptr<Core>> cores;
     Cycle currentCycle = 0;
@@ -112,6 +153,7 @@ class System
     double energyAtMeasureStart = 0.0;
     std::vector<std::uint64_t> retiredAtMeasureStart;
     std::uint64_t numSkipped = 0;
+    std::uint64_t numChunked = 0;
     Cycle verifiedQuietUntil = 0;   ///< kVerify: active skip claim bound
 };
 

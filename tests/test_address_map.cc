@@ -84,6 +84,65 @@ TEST_P(MapperParamTest, DistinctAddressesDistinctCoords)
     }
 }
 
+TEST_P(MapperParamTest, MultiChannelRoundTripsAndChannelOf)
+{
+    for (unsigned channels : {1u, 2u, 4u}) {
+        DramOrg org = DramOrg::tinyConfig(channels);
+        AddressMapper m(org, GetParam());
+        Rng rng(303 + channels);
+        for (int i = 0; i < 2000; ++i) {
+            Addr addr = rng.below(org.totalLines()) * kLineBytes;
+            DramCoord c = m.decode(addr);
+            EXPECT_LT(c.channel, channels);
+            EXPECT_EQ(m.encode(c), addr);
+            EXPECT_EQ(m.channelOf(addr), c.channel)
+                << "channels=" << channels;
+        }
+    }
+}
+
+TEST_P(MapperParamTest, MultiChannelCoordRoundTrip)
+{
+    DramOrg org = DramOrg::tinyConfig(4);
+    AddressMapper m(org, GetParam());
+    for (unsigned ch = 0; ch < org.channels; ++ch) {
+        for (unsigned bg = 0; bg < org.bankGroups; ++bg) {
+            for (unsigned bk = 0; bk < org.banksPerGroup; ++bk) {
+                for (RowId row : {0u, 255u}) {
+                    DramCoord c;
+                    c.channel = ch;
+                    c.bankGroup = bg;
+                    c.bank = bk;
+                    c.row = row;
+                    c.col = 3;
+                    DramCoord back = m.decode(m.encode(c));
+                    EXPECT_TRUE(back == c);
+                }
+            }
+        }
+    }
+}
+
+TEST_P(MapperParamTest, ChannelsPartitionTheAddressSpace)
+{
+    // Per-channel request streams must split the address space exactly:
+    // every line belongs to one channel, and each channel owns an equal
+    // 1/N share (no overlap, no gap).
+    for (unsigned channels : {2u, 4u}) {
+        DramOrg org = DramOrg::tinyConfig(channels);
+        AddressMapper m(org, GetParam());
+        std::vector<std::uint64_t> per_channel(channels, 0);
+        for (Addr line = 0; line < org.totalLines(); ++line) {
+            unsigned ch = m.channelOf(line * kLineBytes);
+            ASSERT_LT(ch, channels);
+            ++per_channel[ch];
+        }
+        for (unsigned ch = 0; ch < channels; ++ch)
+            EXPECT_EQ(per_channel[ch], org.totalLines() / channels)
+                << "channel " << ch << " of " << channels;
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Schemes, MapperParamTest,
                          ::testing::Values(MapScheme::kRowBankCol,
                                            MapScheme::kMop),
