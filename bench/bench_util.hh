@@ -94,6 +94,14 @@ struct BenchContext
     unsigned channels = 1;      ///< DRAM channels per simulated system
     unsigned channelThreads = 1;    ///< lane workers per cell (no effect
                                     ///< on results, byte-identical)
+    /**
+     * Attack-pattern filter (bh_bench --attack NAME): experiments that
+     * sweep the attack catalog (secsweep) keep only patterns whose name
+     * contains this substring. Part of the grid identity: the manifest
+     * records it and the fingerprint folds it in, so differently
+     * filtered runs can never merge.
+     */
+    std::string attackFilter;
     Json result = Json::object();   ///< machine-readable experiment output
 
     CellMode mode = CellMode::Run;
@@ -264,7 +272,7 @@ warmAloneIpc(const BenchContext &ctx, const ExperimentConfig &cfg,
     std::set<std::string> unique;
     for (const auto &mix : mixes)
         for (const auto &app : mix.apps)
-            if (app != kAttackAppName)
+            if (!isAttackApp(app))
                 unique.insert(app);
     std::vector<std::string> apps(unique.begin(), unique.end());
     ctx.runner->forEach(apps.size(),

@@ -125,6 +125,7 @@ cmdMerge(const std::vector<std::string> &args)
             BenchContext probe;
             probe.scale = merge.manifest.scale;
             probe.channels = merge.manifest.channels;
+            probe.attackFilter = merge.manifest.attackFilter;
             probe.runner = &runner;
             probe.mode = BenchContext::CellMode::Enumerate;
             runBench(*info, probe);
@@ -145,6 +146,7 @@ cmdMerge(const std::vector<std::string> &args)
         BenchContext ctx;
         ctx.scale = merge.manifest.scale;
         ctx.channels = merge.manifest.channels;
+        ctx.attackFilter = merge.manifest.attackFilter;
         ctx.runner = &runner;
         ctx.mode = BenchContext::CellMode::Replay;
         ctx.replayCells = &merge.cells;

@@ -26,6 +26,7 @@ void benchSec5(BenchContext &ctx);          ///< security analysis
 void benchSec84(BenchContext &ctx);         ///< false positives / delays
 void benchAblationCbf(BenchContext &ctx);   ///< CBF size / N_BL sweep
 void benchMicro(BenchContext &ctx);         ///< component microbenchmarks
+void benchSecSweep(BenchContext &ctx);      ///< attack catalog x mechanisms
 
 } // namespace bh
 

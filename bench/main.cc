@@ -56,6 +56,10 @@ usage(std::FILE *out)
         "                worker threads ticking channel lanes inside\n"
         "                each cell (default 1); results are\n"
         "                byte-identical for any value\n"
+        "  --attack NAME restrict attack-catalog experiments (secsweep)\n"
+        "                to patterns whose name contains NAME; part of\n"
+        "                the grid identity (shards merge only with the\n"
+        "                same filter). See --list for the catalog.\n"
         "  --shard I/N   run only the sweep cells shard I of N owns and\n"
         "                write partial reports for bh_collect merge\n"
         "  --resume DIR  scan DIR for existing BENCH_*.json shards of\n"
@@ -176,6 +180,7 @@ main(int argc, char **argv)
     SkipMode skip = SkipMode::kEventSkip;
     unsigned channels = 1;
     unsigned channel_threads = 1;
+    std::string attack_filter;
     bool list = false;
     std::vector<std::string> names;
 
@@ -223,6 +228,8 @@ main(int argc, char **argv)
             if (n < 1 || n > 64)
                 fatal("--channel-threads must be in [1, 64]");
             channel_threads = static_cast<unsigned>(n);
+        } else if (!std::strcmp(arg, "--attack")) {
+            attack_filter = value();
         } else if (!std::strcmp(arg, "--resume")) {
             resume_dir = value();
         } else if (!std::strcmp(arg, "--shard")) {
@@ -260,15 +267,33 @@ main(int argc, char **argv)
             BenchContext ctx;
             ctx.scale = scale;
             ctx.channels = channels;
+            ctx.attackFilter = attack_filter;
             ctx.runner = &runner;
             ctx.mode = BenchContext::CellMode::Enumerate;
             runBench(info, ctx);
             std::printf("%-14s %8llu  %s\n", info.name,
                         static_cast<unsigned long long>(ctx.nextCell),
                         info.title);
+            // Attack-catalog experiments label one cell phase per
+            // pattern; name them so --attack filters are discoverable.
+            for (const auto &phase : ctx.phases) {
+                if (phase.label.rfind("pattern:", 0) != 0)
+                    continue;
+                const AttackPatternSpec *spec = findAttackPattern(
+                    phase.label.substr(std::strlen("pattern:")));
+                std::printf("  %-20s %4llu cells  %s\n",
+                            phase.label.c_str(),
+                            static_cast<unsigned long long>(phase.count),
+                            spec ? spec->summary.c_str() : "");
+            }
         }
         std::printf("\ncell counts are per experiment at scale %.2g; "
                     "0 = analytic (runs whole in every shard)\n", scale);
+        std::printf("\nattack-pattern catalog (secsweep; filter with "
+                    "--attack NAME):\n");
+        for (const auto &spec : attackPatternCatalog())
+            std::printf("  %-14s %-55s envelope: %s\n", spec.name.c_str(),
+                        spec.summary.c_str(), spec.envelopeDescr().c_str());
         return 0;
     }
 
@@ -315,6 +340,7 @@ main(int argc, char **argv)
         ctx.scale = scale;
         ctx.channels = channels;
         ctx.channelThreads = channel_threads;
+        ctx.attackFilter = attack_filter;
         ctx.runner = &runner;
         ctx.shard = shard;
         ctx.skip = skip;
@@ -327,6 +353,7 @@ main(int argc, char **argv)
             BenchContext probe;
             probe.scale = scale;
             probe.channels = channels;
+            probe.attackFilter = attack_filter;
             probe.runner = &runner;
             probe.mode = BenchContext::CellMode::Enumerate;
             runBench(*info, probe);

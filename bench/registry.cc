@@ -52,6 +52,11 @@ benchRegistry()
          "Section 6.2's 0.97 ns safety-query claim: simulated structures "
          "are O(hashes)/O(1)",
          benchMicro},
+        {"secsweep", "Security sweep: attack-pattern catalog x mechanisms",
+         "Sections 5/8.2 end to end: sliding-tREFW-window ACT margin vs "
+         "N_RH per (pattern, mechanism, channels); evasion patterns "
+         "included (see --list for the catalog, --attack to filter)",
+         benchSecSweep},
     };
     return registry;
 }
@@ -81,6 +86,11 @@ benchGridFingerprint(const BenchInfo &info, const BenchContext &ctx)
     h = fnv1a64(Json::formatDouble(ctx.scale), h);
     if (ctx.channels != 1)
         h = fnv1a64(strfmt("channels-%u", ctx.channels), h);
+    // An --attack filter reshapes the cell grid; like channels, the
+    // default (no filter) hashes exactly as before the field existed so
+    // pre-existing shard files stay mergeable.
+    if (!ctx.attackFilter.empty())
+        h = fnv1a64("attack-" + ctx.attackFilter, h);
     h = fnv1a64(std::to_string(ctx.nextCell), h);
     for (const auto &phase : ctx.phases) {
         h = fnv1a64(phase.label, h);
@@ -118,6 +128,8 @@ runBench(const BenchInfo &info, BenchContext &ctx)
     // separates the grids).
     if (ctx.channels != 1)
         manifest["channels"] = ctx.channels;
+    if (!ctx.attackFilter.empty())
+        manifest["attack_filter"] = ctx.attackFilter;
     manifest["partial"] = !ctx.aggregate();
     manifest["cell_total"] = ctx.nextCell;
     manifest["cells_run"] = ctx.cellsRun;

@@ -117,6 +117,21 @@ struct DramCoord
     }
 };
 
+/**
+ * Inverse of DramCoord::flatBank: coordinates (rank, bank group, bank)
+ * of a flat bank index within one channel; row/col/channel stay 0.
+ */
+inline DramCoord
+coordForFlatBank(const DramOrg &org, unsigned flat_bank)
+{
+    DramCoord c;
+    c.rank = flat_bank / org.banksPerRank();
+    unsigned in_rank = flat_bank % org.banksPerRank();
+    c.bankGroup = in_rank / org.banksPerGroup;
+    c.bank = in_rank % org.banksPerGroup;
+    return c;
+}
+
 } // namespace bh
 
 #endif // BH_DRAM_ORG_HH

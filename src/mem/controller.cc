@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/security_oracle.hh"
 #include "common/log.hh"
 
 namespace bh
@@ -122,6 +123,8 @@ MemController::tryRefresh(Cycle now)
         energy->onCommand(DramCommand::kRef, now);
     if (hammer)
         hammer->onAutoRefresh(range.firstRow, range.numRows);
+    if (secOracle)
+        secOracle->onAutoRefresh(range.firstRow, range.numRows);
     mitig.onAutoRefresh(range.firstRow, range.numRows, now);
     nextRefreshAt += dram.timings().tREFI;
     refreshPending = false;
@@ -162,6 +165,8 @@ MemController::tryVictimRefresh(Cycle now)
                     // model; see DESIGN.md "refresh-induced disturbance".
                     hammer->onRowRefresh(fb, op.row);
                 }
+                if (secOracle)
+                    secOracle->onRowRefresh(fb, op.row);
                 op.activated = true;
                 return true;
             }
@@ -324,6 +329,8 @@ MemController::issuePrep(SchedQueue &queue, SchedQueue::Handle h, Cycle now)
     }
     if (hammer)
         hammer->onActivate(fb, req.coord.row, now);
+    if (secOracle)
+        secOracle->onActivate(fb, req.coord.row, now);
     mitig.onActivate(fb, req.coord.row, req.thread, now);
     req.rowHitAtIssue = false;
     ++numActDemand;

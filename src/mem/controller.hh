@@ -33,6 +33,8 @@
 namespace bh
 {
 
+class SecurityOracle;
+
 /** Controller tuning knobs. */
 struct ControllerConfig
 {
@@ -183,6 +185,15 @@ class MemController
         completionSink = sink;
     }
 
+    /**
+     * Attach the end-to-end security oracle (see analysis/
+     * security_oracle.hh). Observation-only: the oracle mirrors the
+     * HammerObserver's activate/refresh notifications and can never
+     * influence scheduling, so results are identical with or without
+     * it. nullptr (the default) disables the hook.
+     */
+    void setSecurityOracle(SecurityOracle *oracle) { secOracle = oracle; }
+
     /** Publish counters into `stats` (call once after a run). */
     void syncStats();
 
@@ -211,6 +222,7 @@ class MemController
     ControllerConfig cfg;
     Mitigation &mitig;
     HammerObserver *hammer;
+    SecurityOracle *secOracle = nullptr;
     DramEnergyModel *energy;
     FrFcfsScheduler scheduler;
 

@@ -24,6 +24,7 @@
 #include <queue>
 #include <vector>
 
+#include "analysis/security_oracle.hh"
 #include "dram/address_map.hh"
 #include "mem/controller.hh"
 
@@ -40,6 +41,14 @@ struct MemSystemConfig
     HammerConfig hammer;
     bool enableHammerObserver = true;
     bool enableEnergy = true;
+    /**
+     * Attach a per-channel SecurityOracle (sliding-tREFW-window per-row
+     * ACT counting; see analysis/security_oracle.hh). Observation-only
+     * and off by default: enabling it cannot change simulation results,
+     * only record the security verdict. The oracle derives its
+     * threshold/window from `hammer.nRH` and `timings.tREFW`.
+     */
+    bool enableSecurityOracle = false;
 };
 
 /** Why a submit() was rejected. */
@@ -98,6 +107,10 @@ class MemSystem
     {
         return lanes[ch].hammer.get();
     }
+    SecurityOracle *securityOracle(unsigned ch)
+    {
+        return lanes[ch].oracle.get();
+    }
     DramEnergyModel *energyModel(unsigned ch)
     {
         return lanes[ch].energy.get();
@@ -113,6 +126,7 @@ class MemSystem
     DramDevice &device() { return *soleLane().dram; }
     Mitigation &mitigation() { return *soleLane().mitig; }
     HammerObserver *hammerObserver() { return soleLane().hammer.get(); }
+    SecurityOracle *securityOracle() { return soleLane().oracle.get(); }
     DramEnergyModel *energyModel() { return soleLane().energy.get(); }
 
     const AddressMapper &mapper() const { return *map; }
@@ -162,6 +176,7 @@ class MemSystem
         std::unique_ptr<DramDevice> dram;
         std::unique_ptr<DramEnergyModel> energy;
         std::unique_ptr<HammerObserver> hammer;
+        std::unique_ptr<SecurityOracle> oracle;
         std::unique_ptr<Mitigation> mitig;
         std::unique_ptr<MemController> ctrl;
         std::vector<DeferredCompletion> completions;

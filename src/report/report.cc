@@ -96,6 +96,14 @@ parseManifest(const Json &doc, RunManifest &out, std::string &err)
         }
         out.channels = static_cast<unsigned>(v->asInt());
     }
+    out.attackFilter.clear();
+    if ((v = m->find("attack_filter"))) {
+        if (v->type() != Json::Type::String) {
+            err = "manifest member 'attack_filter' is not a string";
+            return false;
+        }
+        out.attackFilter = v->asString();
+    }
     if (!(v = member(*m, "shard_index", Json::Type::Int, err)))
         return false;
     out.shardIndex = static_cast<unsigned>(v->asInt());

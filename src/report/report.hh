@@ -51,6 +51,12 @@ struct RunManifest
      * fingerprint separates differently-channeled grids regardless.
      */
     unsigned channels = 1;
+    /**
+     * Attack-pattern filter of the run (bh_bench --attack). Optional in
+     * the document like `channels`: absent means unfiltered, and the
+     * fingerprint separates differently filtered grids regardless.
+     */
+    std::string attackFilter;
     unsigned shardIndex = 0;
     unsigned shardCount = 1;
     bool partial = false;           ///< cells only, aggregation skipped

@@ -47,6 +47,20 @@ ExperimentConfig::mitigationSettings(unsigned channel) const
     return s;
 }
 
+AttackEnv
+ExperimentConfig::attackEnv() const
+{
+    DramTimings t = timings();
+    AttackEnv env;
+    env.nRH = nRH;
+    env.nBL = std::max<std::uint32_t>(1, nRH / 4);
+    env.windowCycles = t.tREFW;
+    env.tRC = t.tRC;
+    env.issueWidth = CoreConfig{}.issueWidth;
+    env.seed = seed;
+    return env;
+}
+
 std::unique_ptr<System>
 buildSystem(const ExperimentConfig &config, const MixSpec &mix)
 {
@@ -62,6 +76,7 @@ buildSystem(const ExperimentConfig &config, const MixSpec &mix)
     sys_cfg.mem.hammer.nRH = config.nRH;
     sys_cfg.mem.hammer.blastRadius = 1;     // double-sided attack model
     sys_cfg.mem.enableHammerObserver = config.hammerObserver;
+    sys_cfg.mem.enableSecurityOracle = config.securityOracle;
     sys_cfg.channelThreads = config.channelThreads;
 
     auto system = std::make_unique<System>(
@@ -70,18 +85,26 @@ buildSystem(const ExperimentConfig &config, const MixSpec &mix)
                                   config.mitigationSettings(ch));
         });
 
+    AttackEnv env = config.attackEnv();
     for (unsigned slot = 0; slot < config.threads; ++slot) {
         auto trace = makeTrace(mix.apps[slot], slot, config.threads,
                                system->mem().mapper(), config.seed,
-                               config.attack);
-        if (mix.apps[slot] == kAttackAppName) {
+                               config.attack, &env);
+        if (isAttackApp(mix.apps[slot])) {
             // A real attacker runs two dependent access chains per hammered
             // bank (one per aggressor row), keeping each bank's ACT
             // pipeline busy; more parallelism per row would only let
             // FR-FCFS coalesce requests into row hits without extra
             // activations.
             CoreConfig attacker = sys_cfg.core;
-            attacker.maxOutstandingMem = 2 * config.attack.numBanks;
+            unsigned outstanding = 2 * config.attack.numBanks;
+            if (mix.apps[slot] != kAttackAppName) {
+                const AttackPatternSpec *spec = findAttackPattern(
+                    mix.apps[slot].substr(kAttackPatternPrefix.size()));
+                if (spec)
+                    outstanding = spec->maxOutstanding();
+            }
+            attacker.maxOutstandingMem = outstanding;
             system->setTrace(slot, std::move(trace), attacker);
         } else {
             system->setTrace(slot, std::move(trace));
@@ -104,7 +127,7 @@ runExperiment(const ExperimentConfig &config, const MixSpec &mix)
     res.mixName = mix.name;
     for (unsigned t = 0; t < config.threads; ++t) {
         res.ipc.push_back(system->ipc(t));
-        res.isAttack.push_back(mix.apps[t] == kAttackAppName);
+        res.isAttack.push_back(isAttackApp(mix.apps[t]));
     }
     res.energyJ = system->energy();
     // Merge per-channel state deterministically by channel index: counters
@@ -115,6 +138,18 @@ runExperiment(const ExperimentConfig &config, const MixSpec &mix)
             res.bitFlips += hammer->bitFlips().size();
             res.maxRowActs = std::max(res.maxRowActs,
                                       hammer->maxRowActivations());
+        }
+        if (auto *oracle = mem.securityOracle(ch)) {
+            // Channels are distinct physical row arrays: margins and
+            // window counts take the worst lane (never a sum across
+            // aliased (bank, row) coordinates); violating-row counts
+            // add up because each lane's rows are physically distinct.
+            res.secMargin = std::max(res.secMargin, oracle->margin());
+            res.secMaxWindowActs = std::max(res.secMaxWindowActs,
+                                            oracle->maxWindowActs());
+            res.secFirstViolation = std::min(res.secFirstViolation,
+                                             oracle->firstViolationCycle());
+            res.secViolatingRows += oracle->violatingRows();
         }
         auto &mc = mem.controller(ch);
         res.demandActs += mc.demandActivations();
@@ -177,7 +212,7 @@ metricsAgainstAlone(const ExperimentConfig &config, const MixSpec &mix,
     std::vector<double> shared;
     std::vector<double> alone;
     for (unsigned t = 0; t < config.threads; ++t) {
-        if (mix.apps[t] == kAttackAppName)
+        if (isAttackApp(mix.apps[t]))
             continue;   // the attack's own performance is not a metric
         shared.push_back(result.ipc[t]);
         alone.push_back(aloneIpc(config, mix.apps[t]));

@@ -53,12 +53,25 @@ struct ExperimentConfig
      */
     SkipMode skip = SkipMode::kEventSkip;
     AttackParams attack;
+    /**
+     * Attach the per-channel SecurityOracle (sliding-tREFW-window
+     * per-row ACT counts; observation-only, results unchanged) and
+     * collect its verdict into RunResult::sec*.
+     */
+    bool securityOracle = false;
 
     /** Paper-scale configuration (for security/analysis runs). */
     static ExperimentConfig paperScale();
 
     /** DRAM timings with the compressed refresh window. */
     DramTimings timings() const;
+
+    /**
+     * Threshold/timing environment "attack:<pattern>" mix slots resolve
+     * their pacing and declared ACT envelopes against (N_BL follows the
+     * paper's N_BL = N_RH / 4).
+     */
+    AttackEnv attackEnv() const;
 
     /**
      * Mitigation settings consistent with this experiment, for one
@@ -85,6 +98,17 @@ struct RunResult
     std::uint64_t rowHits = 0;
     std::uint64_t rowMisses = 0;
     std::uint64_t rowConflicts = 0;
+
+    // SecurityOracle verdict (ExperimentConfig::securityOracle runs
+    // only; zero/none otherwise). Channel-merged: counts and margins
+    // take the worst lane, the violation cycle the earliest.
+    double secMargin = 0.0;             ///< max window ACTs / N_RH
+    std::uint64_t secMaxWindowActs = 0; ///< worst sliding-window count
+    Cycle secFirstViolation = kNoEventCycle;    ///< earliest breach
+    std::uint64_t secViolatingRows = 0; ///< distinct rows >= N_RH
+
+    /** True when the activation-bounding guarantee held end to end. */
+    bool secSafe() const { return secMargin < 1.0; }
 
     /** IPCs of benign threads only. */
     std::vector<double> benignIpc() const;

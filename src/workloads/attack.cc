@@ -33,14 +33,7 @@ AttackTrace::AttackTrace(const AttackParams &params,
 
     // Precompute the physical address of (bank, aggressor row, col 0).
     for (unsigned b = 0; b < cfg.numBanks; ++b) {
-        unsigned flat = cfg.firstBank + b;
-        DramCoord c;
-        c.channel = 0;
-        c.rank = flat / org.banksPerRank();
-        unsigned in_rank = flat % org.banksPerRank();
-        c.bankGroup = in_rank / org.banksPerGroup;
-        c.bank = in_rank % org.banksPerGroup;
-        c.col = 0;
+        DramCoord c = coordForFlatBank(org, cfg.firstBank + b);
         for (RowId row : rows) {
             c.row = row;
             addrs.push_back(mapper.encode(c));

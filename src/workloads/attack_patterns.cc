@@ -1,0 +1,356 @@
+#include "workloads/attack_patterns.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace bh
+{
+
+namespace
+{
+
+/** Aggressor row for 1-based side index s around `victim` (-1, +1, ...). */
+RowId
+aggressorRow(RowId victim, unsigned s)
+{
+    unsigned k = (s + 1) / 2;
+    return s % 2 ? victim - k : victim + k;
+}
+
+/** Physical address of (flat bank, row, col 0) like AttackTrace. */
+Addr
+bankRowAddr(const AddressMapper &mapper, unsigned flat_bank, RowId row)
+{
+    DramCoord c = coordForFlatBank(mapper.organization(), flat_bank);
+    c.row = row;
+    return mapper.encode(c);
+}
+
+TraceEntry
+attackEntry(Addr addr, std::uint32_t bubbles = 0)
+{
+    TraceEntry e;
+    e.bubbles = bubbles;
+    e.isMem = true;
+    e.isWrite = false;
+    e.bypassCache = true;
+    e.addr = addr;
+    return e;
+}
+
+/** Per-bank ACT capacity of one tREFW window (the full-rate ceiling). */
+std::uint64_t
+bankWindowCapacity(const AttackEnv &env)
+{
+    return static_cast<std::uint64_t>(env.windowCycles /
+                                      std::max<Cycle>(1, env.tRC)) + 1;
+}
+
+/**
+ * Capacity-share bound with slack: a row receiving at most `share` of
+ * its bank's request stream cannot be activated more often than that
+ * share of the bank's ACT capacity; 25% + 16 covers queue-residency
+ * jitter and window-boundary effects.
+ */
+std::uint64_t
+shareBound(double share, const AttackEnv &env)
+{
+    double cap = static_cast<double>(bankWindowCapacity(env));
+    return static_cast<std::uint64_t>(std::ceil(share * cap * 1.25)) + 16;
+}
+
+/** Evader per-row activation budget per window (just under N_BL). */
+std::uint64_t
+evaderBudget(const AttackPatternSpec &spec, const AttackEnv &env)
+{
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(spec.budgetFracNBL * env.nBL));
+}
+
+} // namespace
+
+std::uint64_t
+AttackPatternSpec::maxRowActsPerWindow(const AttackEnv &env) const
+{
+    switch (family) {
+      case Family::kNSided:
+      case Family::kBankParallel:
+        return shareBound(1.0 / sides, env);
+      case Family::kHalfDouble:
+        // The far pair takes heavyRatio of every heavyRatio+1 passes;
+        // each pass touches 2 far and (1/heavyRatio) * 2 near rows.
+        return shareBound(static_cast<double>(heavyRatio) /
+                          (2.0 * heavyRatio + 2.0), env);
+      case Family::kEvader:
+        // Declared ceiling: the blacklist threshold itself. The lap is
+        // paced for budgetFracNBL * N_BL, so the headroom to N_BL
+        // absorbs scheduling jitter.
+        return env.nBL;
+      case Family::kWave: {
+        // A row belongs to one site, visited once per lap of `sites`
+        // visits. One visit gives it dwell / (banks * sides)
+        // activations and lasts at least (dwell / banks) * tRC (the
+        // bank ACT pipeline) plus the quiet gap's issue time.
+        double per_visit = static_cast<double>(dwell) / (numBanks * sides);
+        double min_period =
+            (static_cast<double>(dwell) / numBanks) *
+                static_cast<double>(env.tRC) +
+            static_cast<double>(gapInstrs) / env.issueWidth;
+        double lap_time = std::max(1.0, min_period * sites);
+        double visits = static_cast<double>(env.windowCycles) / lap_time
+            + 1.0;
+        auto bound = static_cast<std::uint64_t>(
+            std::ceil(visits * per_visit * 1.25)) + 16;
+        return std::min(bound, shareBound(1.0 / sides, env));
+      }
+    }
+    return bankWindowCapacity(env);
+}
+
+std::string
+AttackPatternSpec::envelopeDescr() const
+{
+    switch (family) {
+      case Family::kNSided:
+      case Family::kBankParallel:
+        return strfmt("(tREFW/tRC)/%u per row", sides);
+      case Family::kHalfDouble:
+        return strfmt("%u/%u of tREFW/tRC per row", heavyRatio,
+                      2 * heavyRatio + 2);
+      case Family::kEvader:
+        return strfmt("< N_BL per row (paced for %.3g x N_BL)",
+                      budgetFracNBL);
+      case Family::kWave:
+        return strfmt("burst-duty bounded, %u-entry dwell x %u sites",
+                      dwell, sites);
+    }
+    return "?";
+}
+
+PatternTrace::PatternTrace(const AttackPatternSpec &spec,
+                           const AddressMapper &mapper, const AttackEnv &env)
+    : cfg(spec)
+{
+    const DramOrg &org = mapper.organization();
+    if (cfg.numBanks == 0 ||
+        cfg.firstBank + cfg.numBanks > org.banksPerChannel())
+        fatal("attack pattern '%s': bank range out of bounds",
+              cfg.name.c_str());
+    if (cfg.sides == 0 || cfg.sites == 0)
+        fatal("attack pattern '%s': sides and sites must be positive",
+              cfg.name.c_str());
+
+    const unsigned B = cfg.numBanks;
+    auto bank = [&](unsigned slot) { return cfg.firstBank + slot % B; };
+    Rng rng(env.seed);
+
+    switch (cfg.family) {
+      case AttackPatternSpec::Family::kNSided:
+        // Bank-inner interleave, `sides` aggressors cycling per bank.
+        for (unsigned i = 0; i < B * cfg.sides; ++i) {
+            unsigned s = (i / B) % cfg.sides + 1;
+            entries.push_back(attackEntry(bankRowAddr(
+                mapper, bank(i), aggressorRow(cfg.victimRow, s))));
+        }
+        break;
+
+      case AttackPatternSpec::Family::kBankParallel:
+        // Every bank hammers its own victim site concurrently.
+        for (unsigned i = 0; i < B * cfg.sides; ++i) {
+            unsigned b = i % B;
+            unsigned s = (i / B) % cfg.sides + 1;
+            RowId site = cfg.victimRow +
+                static_cast<RowId>(b) * cfg.siteStride;
+            entries.push_back(attackEntry(
+                bankRowAddr(mapper, bank(i), aggressorRow(site, s))));
+        }
+        break;
+
+      case AttackPatternSpec::Family::kHalfDouble: {
+        // Per bank: heavyRatio far passes (v-2, v+2) per near pass
+        // (v-1, v+1); the far rows carry the bulk of the activations
+        // while the near rows get the occasional "assist" access.
+        unsigned lap = 2 * cfg.heavyRatio + 2;
+        for (unsigned i = 0; i < B * lap; ++i) {
+            unsigned j = (i / B) % lap;
+            RowId row = j < 2 * cfg.heavyRatio
+                ? (j % 2 ? cfg.victimRow + 2 : cfg.victimRow - 2)
+                : (j % 2 ? cfg.victimRow + 1 : cfg.victimRow - 1);
+            entries.push_back(
+                attackEntry(bankRowAddr(mapper, bank(i), row)));
+        }
+        break;
+      }
+
+      case AttackPatternSpec::Family::kEvader: {
+        // sites * sides rows per bank, visited round-robin; bubbles
+        // stretch one full lap to at least the per-row spacing the
+        // window budget demands (the core cannot exceed issueWidth
+        // instructions per cycle, so the pacing is a hard floor).
+        unsigned rows_per_bank = cfg.sites * cfg.sides;
+        std::uint64_t lap_len =
+            static_cast<std::uint64_t>(B) * rows_per_bank;
+        std::uint64_t budget = evaderBudget(cfg, env);
+        std::uint64_t spacing = static_cast<std::uint64_t>(
+            env.windowCycles) / budget;
+        std::uint64_t lap_instrs = spacing * env.issueWidth;
+        auto per_entry = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>((lap_instrs + lap_len - 1) / lap_len,
+                                    1u << 30));
+        std::uint32_t bubbles = per_entry > 0 ? per_entry - 1 : 0;
+        for (std::uint64_t i = 0; i < lap_len; ++i) {
+            unsigned slot = static_cast<unsigned>(i / B) % rows_per_bank;
+            unsigned site = slot / cfg.sides;
+            unsigned s = slot % cfg.sides + 1;
+            RowId base = cfg.victimRow +
+                static_cast<RowId>(site) * cfg.siteStride;
+            entries.push_back(attackEntry(
+                bankRowAddr(mapper, bank(static_cast<unsigned>(i)),
+                            aggressorRow(base, s)),
+                bubbles));
+        }
+        // Seed-derived phase: rotate the lap so concurrent evader
+        // instances do not march in lockstep.
+        std::rotate(entries.begin(),
+                    entries.begin() + rng.below(entries.size()),
+                    entries.end());
+        break;
+      }
+
+      case AttackPatternSpec::Family::kWave: {
+        // Visit the sites in a seed-shuffled order; each visit is a
+        // full-rate double-sided burst of `dwell` entries, optionally
+        // followed by a quiet gap (throttling-probe shape).
+        std::vector<unsigned> order(cfg.sites);
+        for (unsigned t = 0; t < cfg.sites; ++t)
+            order[t] = t;
+        for (unsigned t = cfg.sites; t > 1; --t)
+            std::swap(order[t - 1],
+                      order[static_cast<std::size_t>(rng.below(t))]);
+        for (unsigned v = 0; v < cfg.sites; ++v) {
+            RowId base = cfg.victimRow +
+                static_cast<RowId>(order[v]) * cfg.siteStride;
+            for (unsigned j = 0; j < cfg.dwell; ++j) {
+                unsigned s = (j / B) % cfg.sides + 1;
+                entries.push_back(attackEntry(
+                    bankRowAddr(mapper, bank(j), aggressorRow(base, s))));
+            }
+            if (cfg.gapInstrs > 0) {
+                TraceEntry gap;
+                gap.bubbles = cfg.gapInstrs;
+                gap.isMem = false;
+                entries.push_back(gap);
+            }
+        }
+        break;
+      }
+    }
+
+    if (entries.empty())
+        fatal("attack pattern '%s' compiled to an empty lap",
+              cfg.name.c_str());
+}
+
+bool
+PatternTrace::next(TraceEntry &entry)
+{
+    entry = entries[position % entries.size()];
+    ++position;
+    return true;
+}
+
+std::unique_ptr<TraceSource>
+makeAttackPatternTrace(const AttackPatternSpec &spec,
+                       const AddressMapper &mapper, const AttackEnv &env)
+{
+    return std::make_unique<PatternTrace>(spec, mapper, env);
+}
+
+const std::vector<AttackPatternSpec> &
+attackPatternCatalog()
+{
+    static const std::vector<AttackPatternSpec> catalog = [] {
+        std::vector<AttackPatternSpec> v;
+        auto add = [&](AttackPatternSpec s) { v.push_back(std::move(s)); };
+
+        AttackPatternSpec p;
+        p.name = "double-sided";
+        p.summary = "classic double-sided hammer (reference point)";
+        p.family = AttackPatternSpec::Family::kNSided;
+        p.sides = 2;
+        add(p);
+
+        p = AttackPatternSpec{};
+        p.name = "nsided-8";
+        p.summary = "TRRespass-style 8-sided hammer around one victim";
+        p.family = AttackPatternSpec::Family::kNSided;
+        p.sides = 8;
+        add(p);
+
+        p = AttackPatternSpec{};
+        p.name = "bankpar-4";
+        p.summary = "bank-parallel many-sided: a distinct 4-sided site "
+                    "per bank";
+        p.family = AttackPatternSpec::Family::kBankParallel;
+        p.sides = 4;
+        p.siteStride = 128;
+        add(p);
+
+        p = AttackPatternSpec{};
+        p.name = "halfdouble";
+        p.summary = "Half-Double escalation: far rows hammered 7:1 over "
+                    "near rows";
+        p.family = AttackPatternSpec::Family::kHalfDouble;
+        p.heavyRatio = 7;
+        add(p);
+
+        p = AttackPatternSpec{};
+        p.name = "evader-nbl";
+        p.summary = "distributed low-rate evader paced just under N_BL "
+                    "per row";
+        p.family = AttackPatternSpec::Family::kEvader;
+        p.sides = 2;
+        p.sites = 4;
+        p.siteStride = 64;
+        p.budgetFracNBL = 0.875;
+        add(p);
+
+        p = AttackPatternSpec{};
+        p.name = "wave-8";
+        p.summary = "rotating-victim wave: full-rate bursts over 8 sites";
+        p.family = AttackPatternSpec::Family::kWave;
+        p.sides = 2;
+        p.sites = 8;
+        p.siteStride = 64;
+        p.dwell = 512;
+        add(p);
+
+        p = AttackPatternSpec{};
+        p.name = "probe-burst";
+        p.summary = "BreakHammer-style throttling probe: bursts with "
+                    "quiet gaps";
+        p.family = AttackPatternSpec::Family::kWave;
+        p.sides = 2;
+        p.sites = 1;
+        p.dwell = 512;
+        p.gapInstrs = 32768;
+        add(p);
+
+        return v;
+    }();
+    return catalog;
+}
+
+const AttackPatternSpec *
+findAttackPattern(const std::string &name)
+{
+    for (const auto &spec : attackPatternCatalog())
+        if (spec.name == name)
+            return &spec;
+    return nullptr;
+}
+
+} // namespace bh

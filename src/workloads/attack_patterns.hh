@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Composable adversarial RowHammer attack-pattern catalog.
+ *
+ * The classic generator in attack.hh models the paper's Section 7
+ * synthetic attack (alternating aggressors at full speed). Deployed
+ * mitigations, however, were broken by patterns that look nothing like
+ * it: TRRespass-style many-sided bank-parallel hammering, Half-Double
+ * neighbor escalation, below-threshold distributed "wave" attacks, and
+ * throttling probes (see PAPERS.md: TRRespass, BreakHammer, the
+ * RowHammer SoK). This catalog turns those evasion strategies into
+ * first-class, seed-deterministic workloads.
+ *
+ * Every pattern family is compiled at construction into a fixed cyclic
+ * "lap" of trace entries (addresses plus pacing bubbles), so a pattern
+ * is bit-deterministic per seed and its issue behavior can be reasoned
+ * about statically. Each spec also *declares its ACT-rate envelope*:
+ * the per-row activation ceiling the pattern intends to stay under
+ * within any refresh window (tREFW). The envelope is part of the attack
+ * taxonomy — evaders promise to stay below the blacklist threshold
+ * N_BL, full-rate hammers are bounded only by DRAM timing shares — and
+ * tests/test_attacks.cc holds every catalog pattern to its declaration
+ * against the SecurityOracle's measured sliding-window counts.
+ */
+
+#ifndef BH_WORKLOADS_ATTACK_PATTERNS_HH
+#define BH_WORKLOADS_ATTACK_PATTERNS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trace.hh"
+#include "dram/address_map.hh"
+
+namespace bh
+{
+
+/**
+ * The threshold/timing environment a pattern instance is resolved
+ * against. Patterns pace themselves relative to the run's blacklist
+ * threshold and refresh window, so the same catalog entry adapts to
+ * compressed and paper-scale configurations alike.
+ */
+struct AttackEnv
+{
+    std::uint32_t nRH = 2048;       ///< RowHammer threshold of the run
+    std::uint32_t nBL = 512;        ///< blacklist threshold (N_RH / 4)
+    Cycle windowCycles = 1'600'000; ///< tREFW in CPU cycles
+    Cycle tRC = 148;                ///< ACT-to-ACT (same bank), CPU cycles
+    unsigned issueWidth = 4;        ///< max core instructions per cycle
+    std::uint64_t seed = 1;         ///< stream seed (determinism)
+};
+
+/** One catalog entry: a declarative attack-pattern shape. */
+struct AttackPatternSpec
+{
+    enum class Family
+    {
+        /** `sides` aggressors around one victim, bank-interleaved. */
+        kNSided,
+        /** A *distinct* victim site per bank, `sides` aggressors each
+         *  (TRRespass-style bank-parallel many-sided hammering). */
+        kBankParallel,
+        /** Half-Double escalation: far aggressors (victim +/- 2)
+         *  hammered `heavyRatio` times per near (victim +/- 1) pass. */
+        kHalfDouble,
+        /** Low-rate distributed evader: many victim sites, per-row
+         *  pacing tuned to stay just under N_BL per tREFW window. */
+        kEvader,
+        /** Rotating-victim wave: full-rate double-sided bursts that
+         *  dwell on one site, then move on; optional quiet gap per
+         *  visit turns it into a BreakHammer-style throttling probe. */
+        kWave,
+    };
+
+    std::string name;           ///< catalog / CLI identifier
+    std::string summary;        ///< one-line description (--list)
+    Family family = Family::kNSided;
+
+    unsigned numBanks = 16;     ///< banks hammered concurrently
+    unsigned firstBank = 0;
+    RowId victimRow = 4096;     ///< first (or only) victim site
+    unsigned sides = 2;         ///< aggressors per victim site
+    unsigned sites = 1;         ///< victim sites (bankpar/evader/wave)
+    RowId siteStride = 64;      ///< row distance between victim sites
+    unsigned heavyRatio = 7;    ///< half-double far:near hammer ratio
+    double budgetFracNBL = 0.875;   ///< evader per-row window budget /N_BL
+    unsigned dwell = 512;       ///< wave: trace entries per site visit
+    std::uint32_t gapInstrs = 0;    ///< wave: quiet instrs after a visit
+
+    /**
+     * Declared envelope: the ceiling on activations any single row may
+     * receive within one tREFW-length window under this pattern,
+     * resolved against `env`. Derived per family from the row's share
+     * of its bank's ACT capacity (window / tRC) or, for evaders, from
+     * the blacklist threshold, with slack for queueing jitter.
+     */
+    std::uint64_t maxRowActsPerWindow(const AttackEnv &env) const;
+
+    /** Human-readable envelope formula (for --list / docs). */
+    std::string envelopeDescr() const;
+
+    /**
+     * Outstanding-request budget an attacking core needs to keep every
+     * hammered bank's ACT pipeline busy (see buildSystem).
+     */
+    unsigned maxOutstanding() const { return 2 * numBanks; }
+};
+
+/** All cataloged attack patterns, in canonical order. */
+const std::vector<AttackPatternSpec> &attackPatternCatalog();
+
+/** Look up a catalog pattern by name; nullptr when unknown. */
+const AttackPatternSpec *findAttackPattern(const std::string &name);
+
+/** Mix-app prefix denoting a catalog pattern ("attack:<name>"). */
+inline const std::string kAttackPatternPrefix = "attack:";
+
+/** "attack:<name>" for a catalog pattern (the mix-app spelling). */
+inline std::string
+attackPatternApp(const std::string &pattern_name)
+{
+    return kAttackPatternPrefix + pattern_name;
+}
+
+/**
+ * Cache-bypassing trace stream for one pattern instance: cycles through
+ * the lap compiled from (spec, env) at construction. Bit-deterministic
+ * per (spec, env) including the seed; reset() replays the identical
+ * stream.
+ */
+class PatternTrace : public TraceSource
+{
+  public:
+    PatternTrace(const AttackPatternSpec &spec, const AddressMapper &mapper,
+                 const AttackEnv &env);
+
+    bool next(TraceEntry &entry) override;
+    void reset() override { position = 0; }
+
+    const AttackPatternSpec &spec() const { return cfg; }
+
+    /** The compiled lap (tests inspect pacing and address layout). */
+    const std::vector<TraceEntry> &lap() const { return entries; }
+
+  private:
+    AttackPatternSpec cfg;
+    std::vector<TraceEntry> entries;
+    std::uint64_t position = 0;
+};
+
+/** Instantiate the trace for one catalog pattern. */
+std::unique_ptr<TraceSource>
+makeAttackPatternTrace(const AttackPatternSpec &spec,
+                       const AddressMapper &mapper, const AttackEnv &env);
+
+} // namespace bh
+
+#endif // BH_WORKLOADS_ATTACK_PATTERNS_HH

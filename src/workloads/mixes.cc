@@ -7,6 +7,13 @@ namespace bh
 {
 
 bool
+isAttackApp(const std::string &app)
+{
+    return app == kAttackAppName ||
+        app.rfind(kAttackPatternPrefix, 0) == 0;
+}
+
+bool
 MixSpec::hasAttack() const
 {
     return attackSlot() >= 0;
@@ -16,7 +23,7 @@ int
 MixSpec::attackSlot() const
 {
     for (std::size_t i = 0; i < apps.size(); ++i)
-        if (apps[i] == kAttackAppName)
+        if (isAttackApp(apps[i]))
             return static_cast<int>(i);
     return -1;
 }
@@ -55,10 +62,24 @@ makeAttackMixes(unsigned count, std::uint64_t seed, unsigned threads)
 std::unique_ptr<TraceSource>
 makeTrace(const std::string &app, unsigned slot, unsigned threads,
           const AddressMapper &mapper, std::uint64_t seed,
-          const AttackParams &attack)
+          const AttackParams &attack, const AttackEnv *env)
 {
     if (app == kAttackAppName)
         return std::make_unique<AttackTrace>(attack, mapper);
+
+    if (app.rfind(kAttackPatternPrefix, 0) == 0) {
+        std::string pattern = app.substr(kAttackPatternPrefix.size());
+        const AttackPatternSpec *spec = findAttackPattern(pattern);
+        if (!spec)
+            fatal("unknown attack pattern '%s'", pattern.c_str());
+        if (!env)
+            fatal("attack pattern '%s' needs an AttackEnv (thresholds and "
+                  "window for pacing)", pattern.c_str());
+        AttackEnv slot_env = *env;
+        slot_env.seed =
+            seed * 0x9e3779b9ull + slot * 0x85ebca6bull + 0xc2b2ae35ull;
+        return makeAttackPatternTrace(*spec, mapper, slot_env);
+    }
 
     auto spec = findApp(app);
     if (!spec)

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "workloads/attack.hh"
+#include "workloads/attack_patterns.hh"
 #include "workloads/catalog.hh"
 
 namespace bh
@@ -20,6 +21,13 @@ namespace bh
 
 /** Reserved app name denoting the RowHammer attack thread. */
 inline const std::string kAttackAppName = "rowhammer.double";
+
+/**
+ * True for any attacking mix slot: the legacy "rowhammer.double" thread
+ * or an "attack:<pattern>" slot naming a catalog pattern (see
+ * workloads/attack_patterns.hh).
+ */
+bool isAttackApp(const std::string &app);
 
 /** One multiprogrammed workload: an ordered list of app names. */
 struct MixSpec
@@ -48,17 +56,21 @@ std::vector<MixSpec> makeAttackMixes(unsigned count, std::uint64_t seed,
 /**
  * Instantiate the trace for one mix slot.
  *
- * @param app app name from the catalog or kAttackAppName
+ * @param app app name from the catalog, kAttackAppName, or
+ *        "attack:<pattern>" for a catalog attack pattern
  * @param slot thread slot (selects the private address slice and seed)
  * @param threads total thread count (address slicing)
  * @param mapper address mapper (attack needs bank/row-level addressing)
  * @param seed base seed; each slot derives its own stream
- * @param attack attack shape for attack slots
+ * @param attack attack shape for legacy (kAttackAppName) attack slots
+ * @param env threshold/timing environment for "attack:<pattern>" slots
+ *        (required for those; the env seed is re-derived per slot)
  */
 std::unique_ptr<TraceSource>
 makeTrace(const std::string &app, unsigned slot, unsigned threads,
           const AddressMapper &mapper, std::uint64_t seed,
-          const AttackParams &attack = AttackParams{});
+          const AttackParams &attack = AttackParams{},
+          const AttackEnv *env = nullptr);
 
 } // namespace bh
 

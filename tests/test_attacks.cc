@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Property tests for the adversarial attack-pattern catalog
+ * (workloads/attack_patterns.hh): every cataloged pattern must be
+ * bit-deterministic per seed, and the activation rate it actually
+ * achieves in a real system must stay within the ACT-rate envelope the
+ * spec declares — at the compressed scale-1 window and at the widened
+ * `--scale 4` window (windowMultiplier(4) = 8x thresholds and tREFW).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/experiment.hh"
+
+namespace bh
+{
+namespace
+{
+
+/** Attack-alone experiment used to measure a pattern's issued ACT rate. */
+ExperimentConfig
+envelopeConfig(double window_mult)
+{
+    ExperimentConfig cfg;
+    cfg.mechanism = "Baseline";     // nothing throttles: worst case rate
+    cfg.threads = 1;
+    cfg.nRH = static_cast<std::uint32_t>(512 * window_mult);
+    cfg.refwMs = 0.25 * window_mult;
+    cfg.warmupCycles = 0;
+    cfg.runCycles = static_cast<Cycle>(1'000'000 * window_mult / 2);
+    cfg.hammerObserver = false;     // speed: only the oracle matters here
+    cfg.securityOracle = true;
+    return cfg;
+}
+
+MixSpec
+aloneMix(const std::string &pattern_name)
+{
+    MixSpec mix;
+    mix.name = "alone-" + pattern_name;
+    mix.apps = {attackPatternApp(pattern_name)};
+    return mix;
+}
+
+void
+expectEnvelopeHolds(const AttackPatternSpec &spec, double window_mult)
+{
+    ExperimentConfig cfg = envelopeConfig(window_mult);
+    RunResult res = runExperiment(cfg, aloneMix(spec.name));
+    std::uint64_t envelope = spec.maxRowActsPerWindow(cfg.attackEnv());
+    EXPECT_GT(res.secMaxWindowActs, 0u)
+        << spec.name << ": pattern never activated a row";
+    EXPECT_LE(res.secMaxWindowActs, envelope)
+        << spec.name << " exceeded its declared envelope at window x"
+        << window_mult;
+}
+
+TEST(AttackCatalog, NamesUniqueAndLookupWorks)
+{
+    std::set<std::string> names;
+    for (const auto &spec : attackPatternCatalog()) {
+        EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+        EXPECT_EQ(findAttackPattern(spec.name), &spec);
+        EXPECT_FALSE(spec.summary.empty()) << spec.name;
+    }
+    EXPECT_GE(names.size(), 5u);
+    EXPECT_EQ(findAttackPattern("no-such-pattern"), nullptr);
+}
+
+TEST(AttackCatalog, CoversEveryFamily)
+{
+    std::set<AttackPatternSpec::Family> families;
+    for (const auto &spec : attackPatternCatalog())
+        families.insert(spec.family);
+    EXPECT_EQ(families.size(), 5u);
+}
+
+TEST(AttackPatterns, BitDeterministicPerSeed)
+{
+    AddressMapper mapper(DramOrg::paperConfig(), MapScheme::kMop);
+    AttackEnv env;
+    env.seed = 1234;
+    for (const auto &spec : attackPatternCatalog()) {
+        PatternTrace a(spec, mapper, env);
+        PatternTrace b(spec, mapper, env);
+        for (int i = 0; i < 5000; ++i) {
+            TraceEntry ea, eb;
+            ASSERT_TRUE(a.next(ea));
+            ASSERT_TRUE(b.next(eb));
+            ASSERT_EQ(ea.addr, eb.addr) << spec.name << " entry " << i;
+            ASSERT_EQ(ea.bubbles, eb.bubbles) << spec.name;
+            ASSERT_EQ(ea.isMem, eb.isMem) << spec.name;
+        }
+        // reset() replays the identical stream from the start.
+        TraceEntry first;
+        a.reset();
+        ASSERT_TRUE(a.next(first));
+        PatternTrace c(spec, mapper, env);
+        TraceEntry ec;
+        ASSERT_TRUE(c.next(ec));
+        EXPECT_EQ(first.addr, ec.addr) << spec.name;
+        EXPECT_EQ(first.bubbles, ec.bubbles) << spec.name;
+    }
+}
+
+TEST(AttackPatterns, AddressesStayInDeclaredBankRange)
+{
+    AddressMapper mapper(DramOrg::paperConfig(), MapScheme::kMop);
+    AttackEnv env;
+    for (const auto &spec : attackPatternCatalog()) {
+        PatternTrace t(spec, mapper, env);
+        const DramOrg &org = mapper.organization();
+        for (std::size_t i = 0; i < 2 * t.lap().size(); ++i) {
+            TraceEntry e;
+            t.next(e);
+            if (!e.isMem)
+                continue;
+            EXPECT_TRUE(e.bypassCache) << spec.name;
+            DramCoord c = mapper.decode(e.addr);
+            unsigned fb = c.flatBank(org);
+            EXPECT_GE(fb, spec.firstBank) << spec.name;
+            EXPECT_LT(fb, spec.firstBank + spec.numBanks) << spec.name;
+        }
+    }
+}
+
+TEST(AttackPatterns, ConsecutiveSameBankAccessesConflict)
+{
+    // Every family must alternate rows within a bank, or the open-page
+    // policy would turn the "hammer" into activation-free row hits.
+    AddressMapper mapper(DramOrg::paperConfig(), MapScheme::kMop);
+    AttackEnv env;
+    for (const auto &spec : attackPatternCatalog()) {
+        PatternTrace t(spec, mapper, env);
+        std::map<unsigned, RowId> last_row;
+        for (std::size_t i = 0; i < 2 * t.lap().size(); ++i) {
+            TraceEntry e;
+            t.next(e);
+            if (!e.isMem)
+                continue;
+            DramCoord c = mapper.decode(e.addr);
+            unsigned fb = c.flatBank(mapper.organization());
+            auto it = last_row.find(fb);
+            if (it != last_row.end()) {
+                EXPECT_NE(it->second, c.row)
+                    << spec.name << ": same-bank repeat of row " << c.row;
+            }
+            last_row[fb] = c.row;
+        }
+    }
+}
+
+TEST(AttackPatterns, ProbeBurstCarriesQuietGaps)
+{
+    const AttackPatternSpec *probe = findAttackPattern("probe-burst");
+    ASSERT_NE(probe, nullptr);
+    ASSERT_GT(probe->gapInstrs, 0u);
+    AddressMapper mapper(DramOrg::paperConfig(), MapScheme::kMop);
+    PatternTrace t(*probe, mapper, AttackEnv{});
+    bool saw_gap = false;
+    for (const TraceEntry &e : t.lap())
+        if (!e.isMem) {
+            saw_gap = true;
+            EXPECT_EQ(e.bubbles, probe->gapInstrs);
+        }
+    EXPECT_TRUE(saw_gap);
+}
+
+TEST(AttackPatterns, EvaderPacesItsLap)
+{
+    const AttackPatternSpec *evader = findAttackPattern("evader-nbl");
+    ASSERT_NE(evader, nullptr);
+    AddressMapper mapper(DramOrg::paperConfig(), MapScheme::kMop);
+    AttackEnv env;        // nBL = 512 -> budget 448 acts per 1.6M window
+    PatternTrace t(*evader, mapper, env);
+    // One lap must take at least windowCycles / budget core cycles per
+    // row it revisits: sum of (bubbles + 1) / issueWidth >= spacing.
+    std::uint64_t instrs = 0;
+    for (const TraceEntry &e : t.lap())
+        instrs += e.bubbles + 1;
+    std::uint64_t budget = static_cast<std::uint64_t>(
+        evader->budgetFracNBL * env.nBL);
+    EXPECT_GE(instrs / env.issueWidth,
+              static_cast<std::uint64_t>(env.windowCycles) / budget);
+}
+
+TEST(AttackPatterns, MakeTraceRoundTripsPatternApps)
+{
+    AddressMapper mapper(DramOrg::paperConfig(), MapScheme::kMop);
+    AttackEnv env;
+    auto t = makeTrace(attackPatternApp("nsided-8"), 0, 8, mapper, 1,
+                       AttackParams{}, &env);
+    TraceEntry e;
+    ASSERT_TRUE(t->next(e));
+    EXPECT_TRUE(e.bypassCache);
+    EXPECT_TRUE(isAttackApp(attackPatternApp("nsided-8")));
+    EXPECT_TRUE(isAttackApp(kAttackAppName));
+    EXPECT_FALSE(isAttackApp("429.mcf"));
+}
+
+TEST(AttackPatternsDeath, UnknownPatternAndMissingEnvFailLoudly)
+{
+    AddressMapper mapper(DramOrg::paperConfig(), MapScheme::kMop);
+    AttackEnv env;
+    EXPECT_DEATH((void)makeTrace("attack:no-such", 0, 8, mapper, 1,
+                                 AttackParams{}, &env),
+                 "unknown attack pattern");
+    EXPECT_DEATH((void)makeTrace(attackPatternApp("nsided-8"), 0, 8,
+                                 mapper, 1, AttackParams{}, nullptr),
+                 "AttackEnv");
+}
+
+TEST(AttackEnvelope, HoldsAtScaleOneWindow)
+{
+    for (const auto &spec : attackPatternCatalog())
+        expectEnvelopeHolds(spec, 1.0);
+}
+
+TEST(AttackEnvelope, HoldsAtScaleFourWindow)
+{
+    // --scale 4 widens the window by windowMultiplier(4) = 8 and the
+    // thresholds with it (see bench_util.hh); patterns re-pace
+    // themselves against the bigger window.
+    for (const auto &spec : attackPatternCatalog())
+        expectEnvelopeHolds(spec, 8.0);
+}
+
+} // namespace
+} // namespace bh

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "blockhammer/blockhammer.hh"
+#include "common/rng.hh"
 #include "sim/experiment.hh"
 
 namespace bh
@@ -65,6 +66,10 @@ expectEqualResults(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.rowHits, b.rowHits);
     EXPECT_EQ(a.rowMisses, b.rowMisses);
     EXPECT_EQ(a.rowConflicts, b.rowConflicts);
+    EXPECT_DOUBLE_EQ(a.secMargin, b.secMargin);
+    EXPECT_EQ(a.secMaxWindowActs, b.secMaxWindowActs);
+    EXPECT_EQ(a.secFirstViolation, b.secFirstViolation);
+    EXPECT_EQ(a.secViolatingRows, b.secViolatingRows);
 }
 
 std::vector<std::unique_ptr<Mitigation>>
@@ -242,6 +247,51 @@ TEST(MultiChannel, AttackOnOneChannelLeavesOthersUnthrottled)
     MemSystem &mem = system->mem();
     EXPECT_GT(mem.controller(0).blockedActQueries(), 0u);
     EXPECT_EQ(mem.controller(1).blockedActQueries(), 0u);
+}
+
+TEST(MultiChannel, RandomAttackPatternGridDifferential)
+{
+    // Randomized differential grid over the adversarial attack-pattern
+    // catalog: each sampled (pattern, mechanism, channels) cell must be
+    // byte-identical across chunked/threaded execution, cycle-by-cycle
+    // ticking, and --skip verify — including the SecurityOracle's
+    // verdict, which rides along in the full RunResult comparison.
+    Rng rng(20260729);
+    const auto &catalog = attackPatternCatalog();
+    const std::vector<std::string> mechs = {"BlockHammer", "PARA",
+                                            "Graphene"};
+    for (int trial = 0; trial < 4; ++trial) {
+        const AttackPatternSpec &spec =
+            catalog[rng.below(catalog.size())];
+        const std::string &mech = mechs[rng.below(mechs.size())];
+        unsigned channels = rng.chance(0.5) ? 2 : 4;
+        SCOPED_TRACE(spec.name + " x " + mech + " x " +
+                     std::to_string(channels) + "ch");
+
+        MixSpec mix;
+        mix.name = "rand-" + spec.name;
+        mix.apps = {attackPatternApp(spec.name), "429.mcf", "450.soplex",
+                    "462.libquantum"};
+
+        ExperimentConfig ref = channelConfig(mech, channels);
+        ref.securityOracle = true;
+        ref.skip = SkipMode::kCycleByCycle;
+        ref.channelThreads = 1;
+        RunResult a = runExperiment(ref, mix);
+
+        ExperimentConfig fast = channelConfig(mech, channels);
+        fast.securityOracle = true;
+        fast.skip = SkipMode::kEventSkip;
+        fast.channelThreads = channels;
+        RunResult b = runExperiment(fast, mix);
+        expectEqualResults(a, b);
+
+        ExperimentConfig verify = channelConfig(mech, channels);
+        verify.securityOracle = true;
+        verify.skip = SkipMode::kVerify;
+        RunResult c = runExperiment(verify, mix);
+        expectEqualResults(a, c);
+    }
 }
 
 // Manual diagnostics (run with --gtest_also_run_disabled_tests): how the
