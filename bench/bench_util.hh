@@ -210,6 +210,66 @@ benchConfig(const BenchContext &ctx, const std::string &mechanism,
     return cfg;
 }
 
+/**
+ * Security-verification configuration shared by secsweep and the fuzz
+ * red-team search: smaller N_RH and window than benchConfig so
+ * violations (and BlockHammer's countermeasures) unfold within a short
+ * measurement window; the oracle is on, and the margin covers the whole
+ * run (warmup included — an attack does not wait for measurement to
+ * start). Both experiments and the regression-replay tests must build
+ * cells from this one helper, so a pattern found by the fuzzer replays
+ * under *exactly* the conditions it was found under.
+ */
+inline ExperimentConfig
+securityConfig(const BenchContext &ctx, const std::string &mechanism,
+               unsigned channels)
+{
+    double wmul = windowMultiplier(ctx.scale);
+    ExperimentConfig cfg;
+    cfg.mechanism = mechanism;
+    // N_RH 128 (compressed) keeps the threshold well inside the ACT
+    // budget a 0.25 ms window physically admits, so mechanisms that
+    // merely *slow* an attack as a bandwidth side effect of their
+    // victim refreshes (PARA, MRLoc) still show their margin violation
+    // instead of hiding behind the refresh overhead. Must stay 4 x a
+    // power of two: BlockHammer's Table 7 CBF sizing (2^21 / N_BL)
+    // requires a power-of-two filter.
+    cfg.nRH = static_cast<std::uint32_t>(128 * std::min(wmul, 32.0));
+    cfg.refwMs = 0.25 * wmul;
+    cfg.warmupCycles = static_cast<Cycle>(200'000 * ctx.scale);
+    cfg.runCycles = static_cast<Cycle>(1'600'000 * ctx.scale);
+    cfg.threads = 4;
+    cfg.skip = ctx.skip;
+    cfg.channels = channels;
+    cfg.channelThreads = ctx.channelThreads;
+    cfg.securityOracle = true;
+    return cfg;
+}
+
+/** Benign co-runners of every security-verification mix. */
+inline const std::vector<std::string> &
+securityBenignApps()
+{
+    // Three memory-heavy benign threads keep the controller queues
+    // realistic (an idle system would hand the attacker an
+    // unrealistically clean ACT pipeline).
+    static const std::vector<std::string> apps = {
+        "429.mcf", "462.libquantum", "473.astar"};
+    return apps;
+}
+
+/** Security-verification mix: one attacking app + the benign trio. */
+inline MixSpec
+securityMix(const std::string &attack_app, const std::string &name)
+{
+    MixSpec mix;
+    mix.name = name;
+    mix.apps = {attack_app};
+    for (const auto &app : securityBenignApps())
+        mix.apps.push_back(app);
+    return mix;
+}
+
 /** Print an experiment header naming the paper artifact being reproduced. */
 inline void
 benchHeader(const std::string &title, const std::string &paper_ref,

@@ -27,6 +27,7 @@ void benchSec84(BenchContext &ctx);         ///< false positives / delays
 void benchAblationCbf(BenchContext &ctx);   ///< CBF size / N_BL sweep
 void benchMicro(BenchContext &ctx);         ///< component microbenchmarks
 void benchSecSweep(BenchContext &ctx);      ///< attack catalog x mechanisms
+void benchFuzz(BenchContext &ctx);          ///< red-team evasion fuzzer
 
 } // namespace bh
 

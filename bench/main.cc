@@ -24,6 +24,7 @@
 
 #include "bench/registry.hh"
 #include "report/report.hh"
+#include "workloads/fuzz_patterns.hh"
 
 namespace
 {
@@ -294,6 +295,9 @@ main(int argc, char **argv)
         for (const auto &spec : attackPatternCatalog())
             std::printf("  %-14s %-55s envelope: %s\n", spec.name.c_str(),
                         spec.summary.c_str(), spec.envelopeDescr().c_str());
+        std::printf("\nfuzz search space (bh_bench fuzz explores patterns "
+                    "beyond this catalog):\n  %s\n",
+                    defaultFuzzSpace().describe().c_str());
         return 0;
     }
 

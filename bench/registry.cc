@@ -57,6 +57,12 @@ benchRegistry()
          "N_RH per (pattern, mechanism, channels); evasion patterns "
          "included (see --list for the catalog, --attack to filter)",
          benchSecSweep},
+        {"fuzz", "Red team: Blacksmith-style frequency-domain fuzzer",
+         "adversarial search beyond the hand-written catalog: evolves "
+         "frequency-domain patterns against each mechanism and reports "
+         "the worst disturbance margin ever found; winners become "
+         "permanent secsweep regression cells (see DESIGN.md)",
+         benchFuzz},
     };
     return registry;
 }

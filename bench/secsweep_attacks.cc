@@ -47,52 +47,6 @@ selectedPatterns(const BenchContext &ctx)
     return out;
 }
 
-/**
- * Security-run configuration: smaller N_RH and window than benchConfig
- * so violations (and BlockHammer's countermeasures) unfold within a
- * short measurement window; the oracle is on, and the margin covers
- * the whole run (warmup included — an attack does not wait for
- * measurement to start).
- */
-ExperimentConfig
-secsweepConfig(const BenchContext &ctx, const std::string &mechanism,
-               unsigned channels)
-{
-    double wmul = windowMultiplier(ctx.scale);
-    ExperimentConfig cfg;
-    cfg.mechanism = mechanism;
-    // N_RH 128 (compressed) keeps the threshold well inside the ACT
-    // budget a 0.25 ms window physically admits, so mechanisms that
-    // merely *slow* an attack as a bandwidth side effect of their
-    // victim refreshes (PARA, MRLoc) still show their margin violation
-    // instead of hiding behind the refresh overhead. Must stay 4 x a
-    // power of two: BlockHammer's Table 7 CBF sizing (2^21 / N_BL)
-    // requires a power-of-two filter.
-    cfg.nRH = static_cast<std::uint32_t>(128 * std::min(wmul, 32.0));
-    cfg.refwMs = 0.25 * wmul;
-    cfg.warmupCycles = static_cast<Cycle>(200'000 * ctx.scale);
-    cfg.runCycles = static_cast<Cycle>(1'600'000 * ctx.scale);
-    cfg.threads = 4;
-    cfg.skip = ctx.skip;
-    cfg.channels = channels;
-    cfg.channelThreads = ctx.channelThreads;
-    cfg.securityOracle = true;
-    return cfg;
-}
-
-MixSpec
-secsweepMix(const std::string &pattern_name)
-{
-    // One attacking thread plus three memory-heavy benign threads that
-    // keep the controller queues realistic (an idle system would hand
-    // the attacker an unrealistically clean ACT pipeline).
-    MixSpec mix;
-    mix.name = "sec-" + pattern_name;
-    mix.apps = {attackPatternApp(pattern_name), "429.mcf", "462.libquantum",
-                "473.astar"};
-    return mix;
-}
-
 } // namespace
 
 void
@@ -118,8 +72,10 @@ benchSecSweep(BenchContext &ctx)
                 const std::string &mech = mechs[i / channel_counts.size()];
                 unsigned channels =
                     channel_counts[i % channel_counts.size()];
-                ExperimentConfig cfg = secsweepConfig(ctx, mech, channels);
-                RunResult res = runExperiment(cfg, secsweepMix(spec->name));
+                ExperimentConfig cfg = securityConfig(ctx, mech, channels);
+                RunResult res = runExperiment(
+                    cfg, securityMix(attackPatternApp(spec->name),
+                                     "sec-" + spec->name));
 
                 Json cell = Json::object();
                 cell["margin"] = res.secMargin;

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/log.hh"
+#include "workloads/fuzz_patterns.hh"
 
 namespace bh
 {
@@ -98,7 +99,11 @@ buildSystem(const ExperimentConfig &config, const MixSpec &mix)
             // activations.
             CoreConfig attacker = sys_cfg.core;
             unsigned outstanding = 2 * config.attack.numBanks;
-            if (mix.apps[slot] != kAttackAppName) {
+            if (mix.apps[slot].rfind(kFuzzPatternPrefix, 0) == 0) {
+                AttackPatternSpec spec;
+                if (fuzzSpecForApp(mix.apps[slot], spec))
+                    outstanding = spec.maxOutstanding();
+            } else if (mix.apps[slot] != kAttackAppName) {
                 const AttackPatternSpec *spec = findAttackPattern(
                     mix.apps[slot].substr(kAttackPatternPrefix.size()));
                 if (spec)

@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "workloads/fuzz_patterns.hh"
 
 namespace bh
 {
@@ -106,6 +107,8 @@ AttackPatternSpec::maxRowActsPerWindow(const AttackEnv &env) const
             std::ceil(visits * per_visit * 1.25)) + 16;
         return std::min(bound, shareBound(1.0 / sides, env));
       }
+      case Family::kFuzz:
+        return fuzzMaxRowActsPerWindow(*this, env);
     }
     return bankWindowCapacity(env);
 }
@@ -126,6 +129,8 @@ AttackPatternSpec::envelopeDescr() const
       case Family::kWave:
         return strfmt("burst-duty bounded, %u-entry dwell x %u sites",
                       dwell, sites);
+      case Family::kFuzz:
+        return fuzzEnvelopeDescr(*this);
     }
     return "?";
 }
@@ -219,6 +224,13 @@ PatternTrace::PatternTrace(const AttackPatternSpec &spec,
                     entries.end());
         break;
       }
+
+      case AttackPatternSpec::Family::kFuzz:
+        // Frequency-domain parameter vector; compiled by the fuzzer
+        // module (pure function of spec + env, no RNG — serialized
+        // patterns must replay bit-exactly).
+        compileFuzzLap(cfg, mapper, env, entries);
+        break;
 
       case AttackPatternSpec::Family::kWave: {
         // Visit the sites in a seed-shuffled order; each visit is a
@@ -338,6 +350,12 @@ attackPatternCatalog()
         p.dwell = 512;
         p.gapInstrs = 32768;
         add(p);
+
+        // Fuzzer-found regression cells: every pattern the red-team
+        // search promoted becomes a permanent catalog (and therefore
+        // secsweep) entry. See src/workloads/fuzz_regressions.cc.
+        for (const auto &spec : fuzzRegressionSpecs())
+            add(spec);
 
         return v;
     }();

@@ -44,12 +44,90 @@ namespace bh
  */
 struct AttackEnv
 {
-    std::uint32_t nRH = 2048;       ///< RowHammer threshold of the run
-    std::uint32_t nBL = 512;        ///< blacklist threshold (N_RH / 4)
-    Cycle windowCycles = 1'600'000; ///< tREFW in CPU cycles
-    Cycle tRC = 148;                ///< ACT-to-ACT (same bank), CPU cycles
-    unsigned issueWidth = 4;        ///< max core instructions per cycle
-    std::uint64_t seed = 1;         ///< stream seed (determinism)
+    /** RowHammer threshold of the run: the ACT count (per row, per
+     *  tREFW window) at which disturbance flips bits. Unitless count. */
+    std::uint32_t nRH = 2048;
+    /** BlockHammer blacklist threshold, N_BL = N_RH / 4 per the paper.
+     *  Evader-family patterns pace themselves just under it. */
+    std::uint32_t nBL = 512;
+    /** Refresh-window length tREFW, in CPU cycles (3.2 GHz clock). All
+     *  declared envelopes are per-window ceilings over this span. */
+    Cycle windowCycles = 1'600'000;
+    /** Same-bank ACT-to-ACT spacing (tRC), in CPU cycles: the bank
+     *  pipeline floor every full-rate envelope divides the window by. */
+    Cycle tRC = 148;
+    /** Max instructions the attacking core can issue per cycle; pacing
+     *  bubbles convert to time at this rate (a hard issue floor). */
+    unsigned issueWidth = 4;
+    /** Stream seed: catalog families draw lap-compile randomness
+     *  (phases, shuffles) from it; kFuzz laps ignore it (their layout
+     *  is fully fixed by the parameter vector). */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * One aggressor element of a frequency-domain fuzz pattern: a
+ * double-sided pair around the victim site `baseRow + rowOffset`,
+ * described Blacksmith-style by how often it fires within the pattern
+ * period, at which phase, and with what amplitude.
+ */
+struct FuzzAggressor
+{
+    /** Victim-site offset from FuzzPatternParams::baseRow, in rows
+     *  (signed). The pair hammers rows site-1 and site+1. */
+    std::int32_t rowOffset = 0;
+    /** Firings per period: the pair fires in every slot s with
+     *  (s + phase) % max(1, period / freq) == 0. 1 <= freq <= period. */
+    std::uint32_t freq = 1;
+    /** Phase offset in slots, 0 <= phase < period: shifts which slots
+     *  this pair fires in relative to the others. */
+    std::uint32_t phase = 0;
+    /** Amplitude: consecutive (site-1, site+1) pair accesses emitted
+     *  per firing — intensity in the time domain. >= 1. */
+    std::uint32_t amp = 1;
+
+    bool
+    operator==(const FuzzAggressor &o) const
+    {
+        return rowOffset == o.rowOffset && freq == o.freq &&
+            phase == o.phase && amp == o.amp;
+    }
+};
+
+/**
+ * Full parameter vector of one generated frequency-domain pattern (see
+ * workloads/fuzz_patterns.hh for sampling, mutation, and the compact
+ * serialized form). Together with the AttackEnv it resolves against,
+ * this vector fully determines the compiled lap — no RNG involved — so
+ * a serialized pattern replays bit-exactly anywhere.
+ */
+struct FuzzPatternParams
+{
+    /** Seed of the search stream that produced this vector. Provenance
+     *  only: the lap never draws from it, but it is serialized so a
+     *  found pattern names the lineage it came from. */
+    std::uint64_t seed = 0;
+    unsigned numBanks = 16;     ///< banks hammered concurrently
+    unsigned firstBank = 0;     ///< first bank of the hammered range
+    RowId baseRow = 4096;       ///< victim-site anchor row
+    /** Period of the pattern in slots: the frequency domain's time
+     *  base. One lap spans exactly one period. */
+    std::uint32_t period = 8;
+    /** Pacing bubbles (non-memory instructions) appended after each
+     *  slot's accesses; 0 = full rate. Converts to time at
+     *  AttackEnv::issueWidth instructions per cycle. */
+    std::uint32_t slotGap = 0;
+    /** The aggressor set; at least one entry. */
+    std::vector<FuzzAggressor> aggressors;
+
+    bool
+    operator==(const FuzzPatternParams &o) const
+    {
+        return seed == o.seed && numBanks == o.numBanks &&
+            firstBank == o.firstBank && baseRow == o.baseRow &&
+            period == o.period && slotGap == o.slotGap &&
+            aggressors == o.aggressors;
+    }
 };
 
 /** One catalog entry: a declarative attack-pattern shape. */
@@ -72,22 +150,38 @@ struct AttackPatternSpec
          *  dwell on one site, then move on; optional quiet gap per
          *  visit turns it into a BreakHammer-style throttling probe. */
         kWave,
+        /** Blacksmith-style frequency-domain pattern from the fuzzer:
+         *  the `fuzz` parameter vector (per-pair frequency, phase,
+         *  amplitude over a slot period) is compiled directly — see
+         *  workloads/fuzz_patterns.hh. */
+        kFuzz,
     };
 
     std::string name;           ///< catalog / CLI identifier
     std::string summary;        ///< one-line description (--list)
     Family family = Family::kNSided;
 
-    unsigned numBanks = 16;     ///< banks hammered concurrently
-    unsigned firstBank = 0;
-    RowId victimRow = 4096;     ///< first (or only) victim site
-    unsigned sides = 2;         ///< aggressors per victim site
+    /** Banks hammered concurrently; [firstBank, firstBank + numBanks)
+     *  must stay inside the channel's flat bank range. */
+    unsigned numBanks = 16;
+    unsigned firstBank = 0;     ///< first flat bank of the hammered range
+    RowId victimRow = 4096;     ///< first (or only) victim site (row id)
+    /** Aggressors per victim site; each gets a 1/sides share of the
+     *  site's access stream. >= 1. */
+    unsigned sides = 2;
     unsigned sites = 1;         ///< victim sites (bankpar/evader/wave)
     RowId siteStride = 64;      ///< row distance between victim sites
     unsigned heavyRatio = 7;    ///< half-double far:near hammer ratio
-    double budgetFracNBL = 0.875;   ///< evader per-row window budget /N_BL
+    /** Evader budget as a fraction of N_BL: its lap is bubble-paced so
+     *  no row exceeds budgetFracNBL x N_BL ACTs per window. (0, 1]. */
+    double budgetFracNBL = 0.875;
     unsigned dwell = 512;       ///< wave: trace entries per site visit
-    std::uint32_t gapInstrs = 0;    ///< wave: quiet instrs after a visit
+    /** Wave: quiet (non-memory) instructions after each site visit;
+     *  > 0 turns the wave into a throttling probe. */
+    std::uint32_t gapInstrs = 0;
+    /** kFuzz only: the frequency-domain parameter vector the lap is
+     *  compiled from (ignored by every other family). */
+    FuzzPatternParams fuzz;
 
     /**
      * Declared envelope: the ceiling on activations any single row may

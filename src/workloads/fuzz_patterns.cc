@@ -1,0 +1,426 @@
+#include "workloads/fuzz_patterns.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+namespace
+{
+
+/** Slot stride of a pair: it fires when (slot + phase) % stride == 0. */
+std::uint32_t
+firingStride(const FuzzAggressor &a, std::uint32_t period)
+{
+    return std::max<std::uint32_t>(1, period / std::max<std::uint32_t>(
+                                              1, a.freq));
+}
+
+/**
+ * The time-domain skeleton of a fuzz lap: the per-bank row sequence of
+ * every slot (each row is later replicated across the bank range), in
+ * emission order. Pure function of (params) — shared by the lap
+ * compiler and the envelope derivation so they can never disagree.
+ */
+std::vector<std::vector<RowId>>
+slotRowSeqs(const FuzzPatternParams &p)
+{
+    std::vector<std::vector<RowId>> slots(p.period);
+    for (std::uint32_t s = 0; s < p.period; ++s) {
+        for (const FuzzAggressor &a : p.aggressors) {
+            if ((s + a.phase) % firingStride(a, p.period) != 0)
+                continue;
+            RowId site = p.baseRow + a.rowOffset;
+            for (std::uint32_t rep = 0; rep < std::max<std::uint32_t>(
+                                                 1, a.amp); ++rep) {
+                slots[s].push_back(site - 1);
+                slots[s].push_back(site + 1);
+            }
+        }
+    }
+    return slots;
+}
+
+std::uint64_t
+bankWindowCapacity(const AttackEnv &env)
+{
+    return static_cast<std::uint64_t>(env.windowCycles /
+                                      std::max<Cycle>(1, env.tRC)) + 1;
+}
+
+void
+validateFuzzParams(const FuzzPatternParams &p, const char *what)
+{
+    if (p.aggressors.empty())
+        fatal("%s: fuzz pattern needs at least one aggressor pair", what);
+    if (p.period == 0)
+        fatal("%s: fuzz pattern period must be positive", what);
+    if (p.numBanks == 0)
+        fatal("%s: fuzz pattern needs at least one bank", what);
+    for (const FuzzAggressor &a : p.aggressors) {
+        if (a.freq == 0 || a.freq > p.period)
+            fatal("%s: aggressor freq %u outside [1, period=%u]", what,
+                  a.freq, p.period);
+        if (a.phase >= p.period)
+            fatal("%s: aggressor phase %u >= period %u", what, a.phase,
+                  p.period);
+        if (a.amp == 0)
+            fatal("%s: aggressor amplitude must be positive", what);
+        std::int64_t site = static_cast<std::int64_t>(p.baseRow) +
+            a.rowOffset;
+        if (site < 1)
+            fatal("%s: aggressor site %lld leaves the row range", what,
+                  static_cast<long long>(site));
+    }
+}
+
+} // namespace
+
+std::string
+FuzzSpace::describe() const
+{
+    return strfmt("banks %u..%u, pairs %u..%u, period %u..%u slots, "
+                  "freq 1..period, phase 0..period-1, amp 1..%u, "
+                  "|site offset| <= %d rows, base row %u..%u, "
+                  "slot gap 0..%u instrs",
+                  minBanks, maxBanks, minPairs, maxPairs, minPeriod,
+                  maxPeriod, maxAmp, maxRowOffset,
+                  static_cast<unsigned>(minBaseRow),
+                  static_cast<unsigned>(maxBaseRow), maxSlotGap);
+}
+
+const FuzzSpace &
+defaultFuzzSpace()
+{
+    static const FuzzSpace space;
+    return space;
+}
+
+namespace
+{
+
+std::uint32_t
+uniformIn(Rng &rng, std::uint32_t lo, std::uint32_t hi)
+{
+    return lo + static_cast<std::uint32_t>(rng.below(hi - lo + 1));
+}
+
+/** Log-uniform slot gap: half the draws full rate, the rest 2^k paced. */
+std::uint32_t
+sampleSlotGap(const FuzzSpace &space, Rng &rng)
+{
+    if (space.maxSlotGap == 0 || rng.chance(0.5))
+        return 0;
+    unsigned bits = 0;
+    while ((1u << (bits + 1)) <= space.maxSlotGap)
+        ++bits;
+    return std::min<std::uint32_t>(1u << rng.below(bits + 1),
+                                   space.maxSlotGap);
+}
+
+FuzzAggressor
+samplePair(const FuzzSpace &space, std::uint32_t period, Rng &rng)
+{
+    FuzzAggressor a;
+    a.rowOffset = static_cast<std::int32_t>(
+        rng.range(-space.maxRowOffset, space.maxRowOffset));
+    a.freq = uniformIn(rng, 1, period);
+    a.phase = uniformIn(rng, 0, period - 1);
+    a.amp = uniformIn(rng, 1, space.maxAmp);
+    return a;
+}
+
+/** Re-fit every pair after a period change (freq/phase invariants). */
+void
+clampToPeriod(FuzzPatternParams &p)
+{
+    for (FuzzAggressor &a : p.aggressors) {
+        a.freq = std::min(std::max<std::uint32_t>(1, a.freq), p.period);
+        a.phase = a.phase % p.period;
+    }
+}
+
+} // namespace
+
+FuzzPatternParams
+sampleFuzzPattern(const FuzzSpace &space, Rng &rng)
+{
+    FuzzPatternParams p;
+    p.numBanks = uniformIn(rng, space.minBanks, space.maxBanks);
+    p.firstBank = 0;
+    p.period = uniformIn(rng, space.minPeriod, space.maxPeriod);
+    p.baseRow = uniformIn(rng, static_cast<std::uint32_t>(space.minBaseRow),
+                          static_cast<std::uint32_t>(space.maxBaseRow));
+    p.slotGap = sampleSlotGap(space, rng);
+    unsigned pairs = uniformIn(rng, space.minPairs, space.maxPairs);
+    for (unsigned i = 0; i < pairs; ++i)
+        p.aggressors.push_back(samplePair(space, p.period, rng));
+    return p;
+}
+
+FuzzPatternParams
+mutateFuzzPattern(const FuzzPatternParams &params, const FuzzSpace &space,
+                  Rng &rng)
+{
+    FuzzPatternParams p = params;
+    unsigned moves = 1 + static_cast<unsigned>(rng.below(3));
+    for (unsigned m = 0; m < moves; ++m) {
+        auto pair_at = [&]() -> FuzzAggressor & {
+            return p.aggressors[rng.below(p.aggressors.size())];
+        };
+        switch (rng.below(9)) {
+          case 0:
+            pair_at().freq = uniformIn(rng, 1, p.period);
+            break;
+          case 1:
+            pair_at().phase = uniformIn(rng, 0, p.period - 1);
+            break;
+          case 2:
+            pair_at().amp = uniformIn(rng, 1, space.maxAmp);
+            break;
+          case 3:
+            pair_at().rowOffset = static_cast<std::int32_t>(
+                rng.range(-space.maxRowOffset, space.maxRowOffset));
+            break;
+          case 4:
+            p.baseRow = uniformIn(
+                rng, static_cast<std::uint32_t>(space.minBaseRow),
+                static_cast<std::uint32_t>(space.maxBaseRow));
+            break;
+          case 5:
+            p.period = uniformIn(rng, space.minPeriod, space.maxPeriod);
+            clampToPeriod(p);
+            break;
+          case 6:
+            p.numBanks = uniformIn(rng, space.minBanks, space.maxBanks);
+            break;
+          case 7:
+            if (p.aggressors.size() < space.maxPairs)
+                p.aggressors.push_back(samplePair(space, p.period, rng));
+            else if (p.aggressors.size() > space.minPairs)
+                p.aggressors.erase(p.aggressors.begin() +
+                                   rng.below(p.aggressors.size()));
+            else
+                pair_at().freq = uniformIn(rng, 1, p.period);
+            break;
+          case 8:
+            p.slotGap = sampleSlotGap(space, rng);
+            break;
+        }
+    }
+    return p;
+}
+
+std::string
+serializeFuzzPattern(const FuzzPatternParams &params)
+{
+    std::string out = strfmt(
+        "fz1:s%016" PRIx64 ":b%u+%u:r%u:p%u:g%u:a", params.seed,
+        params.firstBank, params.numBanks,
+        static_cast<unsigned>(params.baseRow), params.period,
+        params.slotGap);
+    for (std::size_t i = 0; i < params.aggressors.size(); ++i) {
+        const FuzzAggressor &a = params.aggressors[i];
+        out += strfmt("%s%d/%u/%u/%u", i ? "," : "", a.rowOffset, a.freq,
+                      a.phase, a.amp);
+    }
+    return out;
+}
+
+bool
+parseFuzzPattern(const std::string &text, FuzzPatternParams &out,
+                 std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    FuzzPatternParams p;
+    const char *s = text.c_str();
+    int consumed = 0;
+    unsigned base_row = 0;
+    if (std::sscanf(s,
+                    "fz1:s%16" SCNx64 ":b%u+%u:r%u:p%u:g%u:a%n",
+                    &p.seed, &p.firstBank, &p.numBanks, &base_row,
+                    &p.period, &p.slotGap, &consumed) != 6 ||
+        consumed <= 0)
+        return fail("not a fz1 pattern header");
+    p.baseRow = base_row;
+    if (p.period == 0 || p.numBanks == 0)
+        return fail("period and banks must be positive");
+    s += consumed;
+    while (*s) {
+        FuzzAggressor a;
+        consumed = 0;
+        if (std::sscanf(s, "%d/%u/%u/%u%n", &a.rowOffset, &a.freq,
+                        &a.phase, &a.amp, &consumed) != 4 || consumed <= 0)
+            return fail(strfmt("bad aggressor tuple at '%s'", s));
+        if (a.freq == 0 || a.freq > p.period || a.phase >= p.period ||
+            a.amp == 0)
+            return fail(strfmt("aggressor out of range at '%s'", s));
+        p.aggressors.push_back(a);
+        s += consumed;
+        if (*s == ',')
+            ++s;
+        else if (*s)
+            return fail(strfmt("trailing garbage at '%s'", s));
+    }
+    if (p.aggressors.empty())
+        return fail("pattern has no aggressor pairs");
+    out = std::move(p);
+    return true;
+}
+
+AttackPatternSpec
+fuzzPatternSpec(const FuzzPatternParams &params, const std::string &name,
+                const std::string &summary)
+{
+    validateFuzzParams(params, "fuzzPatternSpec");
+    AttackPatternSpec spec;
+    spec.name = name.empty() ? serializeFuzzPattern(params) : name;
+    spec.summary = summary.empty()
+        ? strfmt("frequency-domain fuzz pattern (%zu pairs, period %u)",
+                 params.aggressors.size(), params.period)
+        : summary;
+    spec.family = AttackPatternSpec::Family::kFuzz;
+    spec.numBanks = params.numBanks;
+    spec.firstBank = params.firstBank;
+    spec.victimRow = params.baseRow;
+    spec.fuzz = params;
+    return spec;
+}
+
+bool
+fuzzSpecForApp(const std::string &app, AttackPatternSpec &out,
+               std::string *err)
+{
+    if (app.rfind(kFuzzPatternPrefix, 0) != 0) {
+        if (err)
+            *err = "not a fuzz: app";
+        return false;
+    }
+    FuzzPatternParams params;
+    if (!parseFuzzPattern(app.substr(kFuzzPatternPrefix.size()), params,
+                          err))
+        return false;
+    out = fuzzPatternSpec(params);
+    return true;
+}
+
+void
+compileFuzzLap(const AttackPatternSpec &spec, const AddressMapper &mapper,
+               const AttackEnv &env, std::vector<TraceEntry> &entries)
+{
+    (void)env;      // fuzz laps are env-independent: pure parameter replay
+    const FuzzPatternParams &p = spec.fuzz;
+    validateFuzzParams(p, spec.name.c_str());
+
+    const DramOrg &org = mapper.organization();
+    const unsigned B = p.numBanks;
+    auto slots = slotRowSeqs(p);
+    for (std::uint32_t s = 0; s < p.period; ++s) {
+        for (RowId row : slots[s]) {
+            if (row + 1 >= org.rowsPerBank)
+                fatal("fuzz pattern '%s': row %u outside the bank",
+                      spec.name.c_str(), static_cast<unsigned>(row));
+            for (unsigned b = 0; b < B; ++b) {
+                DramCoord c = coordForFlatBank(org, p.firstBank + b);
+                c.row = row;
+                TraceEntry e;
+                e.isMem = true;
+                e.isWrite = false;
+                e.bypassCache = true;
+                e.addr = mapper.encode(c);
+                entries.push_back(e);
+            }
+        }
+        if (p.slotGap > 0) {
+            TraceEntry gap;
+            gap.isMem = false;
+            gap.bubbles = p.slotGap;
+            entries.push_back(gap);
+        }
+    }
+    if (entries.empty())
+        fatal("fuzz pattern '%s' compiled to an empty lap",
+              spec.name.c_str());
+}
+
+std::uint64_t
+fuzzMaxRowActsPerWindow(const AttackPatternSpec &spec, const AttackEnv &env)
+{
+    const FuzzPatternParams &p = spec.fuzz;
+    validateFuzzParams(p, spec.name.c_str());
+    auto slots = slotRowSeqs(p);
+
+    // Per-bank view of one lap (every bank replays the same sequence):
+    // the hottest row's count bounds what any row can collect per lap;
+    // row *transitions* lower-bound the bank's ACT pipeline time (a
+    // repeated row is a row hit, which only removes activations).
+    std::map<RowId, std::uint64_t> per_row;
+    std::uint64_t transitions = 0;
+    std::uint64_t lap_rows = 0;
+    bool have_last = false;
+    RowId last = 0;
+    for (const auto &slot : slots) {
+        for (RowId row : slot) {
+            per_row[row] += 1;
+            ++lap_rows;
+            if (!have_last || row != last)
+                ++transitions;
+            last = row;
+            have_last = true;
+        }
+    }
+    std::uint64_t hottest = 0;
+    for (const auto &kv : per_row)
+        hottest = std::max(hottest, kv.second);
+
+    // Minimum lap duration: the bank ACT pipeline (transitions x tRC,
+    // banks run in parallel) or the core issue floor over the lap's
+    // instructions (every access entry is one instruction per bank
+    // copy; each slot gap adds 1 + slotGap instructions), whichever
+    // binds. Underestimating the lap time overestimates windows per
+    // lap, keeping the bound sound.
+    std::uint64_t instrs = lap_rows * p.numBanks;
+    if (p.slotGap > 0)
+        instrs += static_cast<std::uint64_t>(p.period) * (1 + p.slotGap);
+    double min_lap = std::max<double>(
+        {1.0, static_cast<double>(transitions) *
+                  static_cast<double>(env.tRC),
+         static_cast<double>(instrs) / env.issueWidth});
+    double laps = static_cast<double>(env.windowCycles) / min_lap + 1.0;
+    auto bound = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(hottest) * laps * 1.25)) + 16;
+    // Nothing can beat the bank's raw ACT capacity (plus the same
+    // jitter slack every full-rate family carries).
+    auto cap = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(bankWindowCapacity(env)) * 1.25)) +
+        16;
+    return std::min(bound, cap);
+}
+
+std::string
+fuzzEnvelopeDescr(const AttackPatternSpec &spec)
+{
+    const FuzzPatternParams &p = spec.fuzz;
+    std::uint64_t firings = 0;
+    for (const FuzzAggressor &a : p.aggressors)
+        firings += p.period / firingStride(a, p.period);
+    return strfmt("lap-derived: %zu pairs, %" PRIu64
+                  " firings / %u slots%s",
+                  p.aggressors.size(), firings, p.period,
+                  p.slotGap ? strfmt(", %u-instr slot gap",
+                                     p.slotGap).c_str()
+                            : "");
+}
+
+} // namespace bh

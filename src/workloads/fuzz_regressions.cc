@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fuzzer-found patterns promoted to permanent secsweep regression cells.
+ *
+ * Promotion protocol (see DESIGN.md "Security verification"): when a
+ * `bh_bench fuzz` run finds a pattern whose disturbance margin against
+ * some mechanism strictly exceeds the worst hand-written catalog pattern,
+ * its serialized form is appended here together with the oracle verdict
+ * measured when it was found. attackPatternCatalog() picks these up, so
+ * every entry automatically becomes a secsweep grid cell, is held to its
+ * declared envelope by tests/test_attacks.cc, and is replayed bit-exactly
+ * by tests/test_fuzz.cc against the recorded margin.
+ */
+
+#include "workloads/fuzz_patterns.hh"
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+const std::vector<FuzzRegressionCell> &
+fuzzRegressionCells()
+{
+    // Found by `bh_bench fuzz --scale 1` (name-derived island seeds;
+    // see bench/fuzz_redteam.cc). foundMaxWindowActs / foundMargin are
+    // the scale-1 security-config oracle verdicts at the recorded
+    // channel count (N_RH = 128), reproduced exactly by
+    // tests/test_fuzz.cc.
+    static const std::vector<FuzzRegressionCell> cells = {
+        {"fuzz-prohit-1",
+         "fuzzer-found single-pair burst beating PRoHIT (margin 7.14 vs "
+         "4.76 for the static catalog)",
+         "fz1:s902ece7bc1e6af1a:b0+2:r1425:p20:g0:a-1/8/16/2",
+         "PRoHIT", 1, 914, 914.0 / 128.0},
+        {"fuzz-para-1",
+         "fuzzer-found four-pair chord beating PARA (margin 3.06 vs "
+         "2.63 for the static catalog)",
+         "fz1:s2e247d93a0cef730:b0+2:r1679:p22:g0:"
+         "a41/10/19/1,53/2/1/2,-87/15/20/2,-78/5/9/2",
+         "PARA", 1, 392, 392.0 / 128.0},
+    };
+    return cells;
+}
+
+const std::vector<AttackPatternSpec> &
+fuzzRegressionSpecs()
+{
+    static const std::vector<AttackPatternSpec> specs = [] {
+        std::vector<AttackPatternSpec> v;
+        for (const FuzzRegressionCell &cell : fuzzRegressionCells()) {
+            FuzzPatternParams params;
+            std::string err;
+            if (!parseFuzzPattern(cell.serialized, params, &err))
+                fatal("fuzz regression cell '%s' does not parse: %s",
+                      cell.name, err.c_str());
+            v.push_back(fuzzPatternSpec(params, cell.name, cell.summary));
+        }
+        return v;
+    }();
+    return specs;
+}
+
+} // namespace bh

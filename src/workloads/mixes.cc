@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "workloads/fuzz_patterns.hh"
 
 namespace bh
 {
@@ -10,7 +11,8 @@ bool
 isAttackApp(const std::string &app)
 {
     return app == kAttackAppName ||
-        app.rfind(kAttackPatternPrefix, 0) == 0;
+        app.rfind(kAttackPatternPrefix, 0) == 0 ||
+        app.rfind(kFuzzPatternPrefix, 0) == 0;
 }
 
 bool
@@ -66,6 +68,24 @@ makeTrace(const std::string &app, unsigned slot, unsigned threads,
 {
     if (app == kAttackAppName)
         return std::make_unique<AttackTrace>(attack, mapper);
+
+    if (app.rfind(kFuzzPatternPrefix, 0) == 0) {
+        // Inline fuzz pattern: the app string *is* the serialized
+        // parameter vector, so any found pattern runs without a catalog
+        // entry — the property the red-team search and regression
+        // replay depend on.
+        AttackPatternSpec spec;
+        std::string err;
+        if (!fuzzSpecForApp(app, spec, &err))
+            fatal("bad fuzz pattern app '%s': %s", app.c_str(),
+                  err.c_str());
+        if (!env)
+            fatal("fuzz pattern '%s' needs an AttackEnv", app.c_str());
+        AttackEnv slot_env = *env;
+        slot_env.seed =
+            seed * 0x9e3779b9ull + slot * 0x85ebca6bull + 0xc2b2ae35ull;
+        return makeAttackPatternTrace(spec, mapper, slot_env);
+    }
 
     if (app.rfind(kAttackPatternPrefix, 0) == 0) {
         std::string pattern = app.substr(kAttackPatternPrefix.size());

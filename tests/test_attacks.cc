@@ -74,7 +74,9 @@ TEST(AttackCatalog, CoversEveryFamily)
     std::set<AttackPatternSpec::Family> families;
     for (const auto &spec : attackPatternCatalog())
         families.insert(spec.family);
-    EXPECT_EQ(families.size(), 5u);
+    // Five hand-written families plus kFuzz (the promoted fuzzer
+    // regression cells in src/workloads/fuzz_regressions.cc).
+    EXPECT_EQ(families.size(), 6u);
 }
 
 TEST(AttackPatterns, BitDeterministicPerSeed)

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Fuzzer determinism and regression-replay tests (see DESIGN.md
+ * "Security verification"):
+ *
+ *  - the serialized pattern form round-trips bit-exactly and rejects
+ *    malformed input;
+ *  - sampling and mutation stay inside the declared FuzzSpace bounds;
+ *  - one master seed reproduces the entire search lineage (patterns,
+ *    scores, evaluation counts), and the registered fuzz experiment
+ *    emits byte-identical JSON at any worker count;
+ *  - sampled and mutated patterns honor their lap-derived ACT-rate
+ *    envelopes at the compressed and the 8x-widened window;
+ *  - every promoted regression cell replays to exactly the oracle
+ *    verdict recorded when it was found.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "analysis/red_team.hh"
+#include "bench/registry.hh"
+#include "sim/experiment.hh"
+#include "workloads/fuzz_patterns.hh"
+
+namespace bh
+{
+namespace
+{
+
+/** Deterministic sampled + mutated pattern set shared by the tests. */
+std::vector<FuzzPatternParams>
+testPatterns(unsigned sampled, unsigned mutated, std::uint64_t seed)
+{
+    const FuzzSpace &space = defaultFuzzSpace();
+    Rng rng(seed);
+    std::vector<FuzzPatternParams> out;
+    for (unsigned i = 0; i < sampled; ++i)
+        out.push_back(sampleFuzzPattern(space, rng));
+    for (unsigned i = 0; i < mutated; ++i)
+        out.push_back(mutateFuzzPattern(out[i % sampled], space, rng));
+    return out;
+}
+
+void
+expectInSpace(const FuzzPatternParams &p, const FuzzSpace &space)
+{
+    EXPECT_GE(p.numBanks, space.minBanks);
+    EXPECT_LE(p.numBanks, space.maxBanks);
+    EXPECT_GE(p.aggressors.size(), space.minPairs);
+    EXPECT_LE(p.aggressors.size(), space.maxPairs);
+    EXPECT_GE(p.period, space.minPeriod);
+    EXPECT_LE(p.period, space.maxPeriod);
+    EXPECT_GE(p.baseRow, space.minBaseRow);
+    EXPECT_LE(p.baseRow, space.maxBaseRow);
+    EXPECT_LE(p.slotGap, space.maxSlotGap);
+    for (const FuzzAggressor &a : p.aggressors) {
+        EXPECT_LE(std::abs(a.rowOffset), space.maxRowOffset);
+        EXPECT_GE(a.freq, 1u);
+        EXPECT_LE(a.freq, p.period);
+        EXPECT_LT(a.phase, p.period);
+        EXPECT_GE(a.amp, 1u);
+        EXPECT_LE(a.amp, space.maxAmp);
+    }
+}
+
+TEST(FuzzSerialization, RoundTripsBitExactly)
+{
+    for (const auto &p : testPatterns(8, 8, 0xf00d)) {
+        std::string ser = serializeFuzzPattern(p);
+        FuzzPatternParams back;
+        std::string err;
+        ASSERT_TRUE(parseFuzzPattern(ser, back, &err)) << ser << ": " << err;
+        EXPECT_TRUE(p == back) << ser;
+        EXPECT_EQ(serializeFuzzPattern(back), ser);
+    }
+}
+
+TEST(FuzzSerialization, RejectsMalformed)
+{
+    FuzzPatternParams out;
+    for (const char *bad : {
+             "",                                         // empty
+             "fz2:s0:b0+1:r64:p4:g0:a0/1/0/1",           // wrong version
+             "fz1:s0:b0+1:r64:p4:g0:a",                  // no aggressors
+             "fz1:s0:b0+1:r64:p4:g0:a0/9/0/1",           // freq > period
+             "fz1:s0:b0+1:r64:p4:g0:a0/1/7/1",           // phase >= period
+             "fz1:s0:b0+1:r64:p4:g0:a0/1/0/0",           // zero amplitude
+             "fz1:s0:b0+1:r64:p0:g0:a0/1/0/1",           // zero period
+             "fz1:s0:b0+1:r64:p4:g0:a0/1/0/1junk",       // trailing junk
+         })
+        EXPECT_FALSE(parseFuzzPattern(bad, out)) << bad;
+}
+
+TEST(FuzzSampling, SampledAndMutatedPatternsStayInBounds)
+{
+    const FuzzSpace &space = defaultFuzzSpace();
+    Rng rng(42);
+    FuzzPatternParams p = sampleFuzzPattern(space, rng);
+    expectInSpace(p, space);
+    // Long mutation chains must never drift out of the space (the
+    // search applies them generation after generation).
+    for (int i = 0; i < 200; ++i) {
+        p = mutateFuzzPattern(p, space, rng);
+        expectInSpace(p, space);
+    }
+}
+
+TEST(FuzzSampling, SameSeedSamplesIdenticalPatterns)
+{
+    const FuzzSpace &space = defaultFuzzSpace();
+    Rng a(7), b(7);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(sampleFuzzPattern(space, a) ==
+                    sampleFuzzPattern(space, b));
+}
+
+/** Tiny attacker-alone search config so lineage tests run fast. */
+RedTeamConfig
+tinySearchConfig(std::uint64_t seed)
+{
+    RedTeamConfig rc;
+    rc.base.mechanism = "Baseline";
+    rc.base.threads = 1;
+    rc.base.nRH = 128;
+    rc.base.refwMs = 0.25;
+    rc.base.warmupCycles = 0;
+    rc.base.runCycles = 200'000;
+    rc.base.hammerObserver = false;
+    rc.base.securityOracle = true;
+    rc.benignApps = {};
+    rc.population = 3;
+    rc.generations = 2;
+    rc.survivors = 1;
+    rc.seed = seed;
+    return rc;
+}
+
+TEST(RedTeam, MasterSeedReproducesTheEntireLineage)
+{
+    RedTeamResult a = redTeamSearch(tinySearchConfig(77));
+    RedTeamResult b = redTeamSearch(tinySearchConfig(77));
+    EXPECT_EQ(a.best.serialized, b.best.serialized);
+    EXPECT_EQ(a.best.margin, b.best.margin);
+    EXPECT_EQ(a.best.maxWindowActs, b.best.maxWindowActs);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+    EXPECT_EQ(a.memoHits, b.memoHits);
+    ASSERT_EQ(a.generationBest.size(), b.generationBest.size());
+    for (std::size_t g = 0; g < a.generationBest.size(); ++g) {
+        EXPECT_EQ(a.generationBest[g].serialized,
+                  b.generationBest[g].serialized);
+        EXPECT_EQ(a.generationBest[g].margin, b.generationBest[g].margin);
+    }
+    // The chain seed is stamped into every emitted pattern as
+    // provenance, and a different seed explores a different lineage.
+    EXPECT_EQ(a.best.params.seed, 77u);
+    RedTeamResult c = redTeamSearch(tinySearchConfig(78));
+    EXPECT_NE(a.best.serialized, c.best.serialized);
+}
+
+TEST(FuzzExperiment, JsonIsIdenticalAcrossWorkerCounts)
+{
+    const BenchInfo *info = findBench("fuzz");
+    ASSERT_NE(info, nullptr);
+    auto run = [&](unsigned jobs) {
+        Runner pool(jobs);
+        BenchContext ctx;
+        ctx.scale = 0.1;
+        ctx.runner = &pool;
+        testing::internal::CaptureStdout();
+        runBench(*info, ctx);
+        testing::internal::GetCapturedStdout();
+        return ctx.result;
+    };
+    EXPECT_EQ(run(1).dump(2), run(4).dump(2));
+}
+
+/** Attack-alone experiment measuring a pattern's issued ACT rate. */
+RunResult
+runAlone(const FuzzPatternParams &params, double window_mult)
+{
+    ExperimentConfig cfg;
+    cfg.mechanism = "Baseline";     // nothing throttles: worst-case rate
+    cfg.threads = 1;
+    cfg.nRH = static_cast<std::uint32_t>(512 * window_mult);
+    cfg.refwMs = 0.25 * window_mult;
+    cfg.warmupCycles = 0;
+    cfg.runCycles = static_cast<Cycle>(1'000'000 * window_mult / 2);
+    cfg.hammerObserver = false;
+    cfg.securityOracle = true;
+    MixSpec mix;
+    mix.name = "alone-fuzz";
+    mix.apps = {fuzzPatternApp(params)};
+    return runExperiment(cfg, mix);
+}
+
+TEST(FuzzEnvelope, HoldsForSampledAndMutatedPatterns)
+{
+    // Two sampled + one mutated pattern, at the compressed scale-1
+    // window and the 8x-widened one (windowMultiplier(4), like
+    // test_attacks does for the static catalog).
+    for (const auto &p : testPatterns(2, 1, 0xbeef)) {
+        AttackPatternSpec spec = fuzzPatternSpec(p);
+        for (double mult : {1.0, 8.0}) {
+            ExperimentConfig probe;
+            probe.nRH = static_cast<std::uint32_t>(512 * mult);
+            probe.refwMs = 0.25 * mult;
+            RunResult res = runAlone(p, mult);
+            std::uint64_t envelope =
+                spec.maxRowActsPerWindow(probe.attackEnv());
+            EXPECT_GT(res.secMaxWindowActs, 0u)
+                << spec.name << ": pattern never activated a row";
+            EXPECT_LE(res.secMaxWindowActs, envelope)
+                << spec.name << " exceeded its envelope at window x"
+                << mult;
+        }
+    }
+}
+
+TEST(FuzzRegressions, CellsAreCatalogedSecsweepEntries)
+{
+    ASSERT_FALSE(fuzzRegressionCells().empty())
+        << "the fuzzer's found-pattern table must not regress to empty";
+    for (const auto &cell : fuzzRegressionCells()) {
+        const AttackPatternSpec *spec = findAttackPattern(cell.name);
+        ASSERT_NE(spec, nullptr) << cell.name;
+        EXPECT_EQ(spec->family, AttackPatternSpec::Family::kFuzz);
+        EXPECT_EQ(serializeFuzzPattern(spec->fuzz), cell.serialized);
+        EXPECT_GE(cell.foundMargin, 1.0)
+            << cell.name << ": a promoted pattern must have violated "
+            << "the ACT bound of the mechanism it was found against";
+    }
+}
+
+TEST(FuzzRegressions, ReplayExactlyAsFound)
+{
+    // Bit-exact replay: rebuilding the finding conditions from the
+    // serialized form alone must reproduce the recorded oracle verdict
+    // to the last activation. securityConfig/securityMix are the same
+    // helpers the secsweep and fuzz experiments build their cells from.
+    BenchContext ctx;
+    ctx.scale = 1.0;
+    for (const auto &cell : fuzzRegressionCells()) {
+        FuzzPatternParams params;
+        ASSERT_TRUE(parseFuzzPattern(cell.serialized, params));
+        ExperimentConfig cfg =
+            securityConfig(ctx, cell.mechanism, cell.channels);
+        RunResult res = runExperiment(
+            cfg, securityMix(fuzzPatternApp(params), "redteam"));
+        EXPECT_EQ(res.secMaxWindowActs, cell.foundMaxWindowActs)
+            << cell.name;
+        EXPECT_DOUBLE_EQ(res.secMargin, cell.foundMargin) << cell.name;
+    }
+}
+
+} // namespace
+} // namespace bh

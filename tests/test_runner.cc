@@ -120,10 +120,10 @@ TEST(Runner, CellSeedGoldenValues)
 
 TEST(Registry, AllExperimentsRegisteredAndFindable)
 {
-    EXPECT_EQ(benchRegistry().size(), 13u);
+    EXPECT_EQ(benchRegistry().size(), 14u);
     for (const char *name : {"fig4", "fig5", "fig6", "table1", "table4",
                              "table7", "table8", "sec321", "sec5", "sec84",
-                             "ablation_cbf", "micro", "secsweep"}) {
+                             "ablation_cbf", "micro", "secsweep", "fuzz"}) {
         const BenchInfo *info = findBench(name);
         ASSERT_NE(info, nullptr) << name;
         EXPECT_STREQ(info->name, name);
