@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -127,6 +128,20 @@ struct BenchContext
         std::uint64_t count = 0;
     };
     std::vector<CellPhase> phases;
+
+    /**
+     * Self-profile of one executed cell: wall-clock spent in fn() and
+     * simulated cycles covered (simCyclesThisThread delta). Filled by
+     * runCells in Run mode only, keyed by global cell index; the driver
+     * writes it as BENCH_perf.json — never into BENCH_<name>.json, whose
+     * bytes must not depend on host speed.
+     */
+    struct CellPerf
+    {
+        double wallS = 0.0;
+        std::uint64_t simCycles = 0;
+    };
+    std::map<std::uint64_t, CellPerf> cellPerf;
 
     /** Scale a count, keeping at least `floor` so sweeps never go empty. */
     unsigned

@@ -23,7 +23,11 @@
 #include <fstream>
 #include <sstream>
 
+#include <chrono>
+#include <map>
+
 #include "bench/registry.hh"
+#include "report/perf.hh"
 #include "report/report.hh"
 
 namespace
@@ -35,7 +39,8 @@ usage(std::FILE *out)
     std::fprintf(out,
         "usage: bh_collect merge [options] BENCH_*.json...\n"
         "       bh_collect diff [options] A.json B.json\n"
-        "       bh_collect status PATH...\n"
+        "       bh_collect status [options] PATH...\n"
+        "       bh_collect perfgate [options] GOLDEN.json BENCH_perf.json\n"
         "\n"
         "merge: validate and combine N sharded bh_bench outputs of one\n"
         "experiment into a report byte-identical to an unsharded run.\n"
@@ -54,8 +59,22 @@ usage(std::FILE *out)
         "\n"
         "status: scan files and directory trees for BENCH_*.json shard\n"
         "outputs and report, per experiment grid, which shards exist and\n"
-        "which sweep cells are still missing. Exits 0 when every grid is\n"
-        "fully covered, 1 when cells are missing, 2 on IO errors.\n");
+        "which sweep cells are still missing — with per-shard elapsed\n"
+        "time (from sibling BENCH_perf.json self-profiles) and an\n"
+        "estimate of the remaining shard work. Exits 0 when every grid\n"
+        "is fully covered, 1 when cells are missing, 2 on IO errors.\n"
+        "\n"
+        "  --stale-after SECS   flag shards of incomplete grids whose\n"
+        "                       file has not changed for SECS seconds\n"
+        "                       (default 3600; 0 disables)\n"
+        "\n"
+        "perfgate: gate a BENCH_perf.json self-profile against a golden\n"
+        "of reference simulation rates (cycles/second). Exits 0 when\n"
+        "every applicable entry is within its tolerance band, 1 on a\n"
+        "perf regression, 2 on usage/IO errors.\n"
+        "\n"
+        "  --min-ratio R        override every entry's min_ratio: fail\n"
+        "                       below R x the golden rate\n");
 }
 
 int
@@ -179,9 +198,21 @@ cmdStatus(const std::vector<std::string> &args)
     using namespace bh;
     namespace fs = std::filesystem;
 
+    double stale_after = 3600.0;
+
     // Expand directory arguments into the BENCH_*.json files they hold.
     std::vector<std::string> files;
-    for (const std::string &arg : args) {
+    for (std::size_t ai = 0; ai < args.size(); ++ai) {
+        const std::string &arg = args[ai];
+        if (arg == "--stale-after") {
+            if (++ai >= args.size()) {
+                std::fprintf(stderr,
+                             "bh_collect: --stale-after needs a value\n");
+                return 2;
+            }
+            stale_after = std::atof(args[ai].c_str());
+            continue;
+        }
         if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "bh_collect status: unknown option %s\n",
                          arg.c_str());
@@ -200,9 +231,12 @@ cmdStatus(const std::vector<std::string> &args)
                 if (!it->is_regular_file(type_ec) || type_ec)
                     continue;
                 std::string name = it->path().filename().string();
+                // BENCH_perf.json self-profiles are not shard reports;
+                // they are read separately for per-shard elapsed time.
                 if (name.rfind("BENCH_", 0) == 0 &&
                     name.size() > 5 &&
-                    name.compare(name.size() - 5, 5, ".json") == 0)
+                    name.compare(name.size() - 5, 5, ".json") == 0 &&
+                    name != "BENCH_perf.json")
                     files.push_back(it->path().string());
             }
             if (ec) {
@@ -233,6 +267,36 @@ cmdStatus(const std::vector<std::string> &args)
         inputs.push_back(std::move(report));
     }
 
+    // Per-shard elapsed time comes from the BENCH_perf.json self-profile
+    // bh_bench writes next to its reports; parse each directory's at
+    // most once.
+    std::map<std::string, Json> perf_by_dir;
+    auto shardElapsed = [&](const std::string &report_path,
+                            const std::string &experiment) -> double {
+        std::string dir = fs::path(report_path).parent_path().string();
+        auto it = perf_by_dir.find(dir);
+        if (it == perf_by_dir.end()) {
+            Json doc;
+            std::ifstream f(dir.empty() ? "BENCH_perf.json"
+                                        : dir + "/BENCH_perf.json",
+                            std::ios::binary);
+            if (f) {
+                std::ostringstream text;
+                text << f.rdbuf();
+                Json::parse(text.str(), doc);
+            }
+            it = perf_by_dir.emplace(dir, std::move(doc)).first;
+        }
+        const Json *exps = it->second.find("experiments");
+        const Json *e = exps ? exps->find(experiment) : nullptr;
+        const Json *wall = e ? e->find("wall_s") : nullptr;
+        return wall ? wall->asDouble() : -1.0;
+    };
+
+    std::map<std::string, const LoadedReport *> by_path;
+    for (const LoadedReport &report : inputs)
+        by_path[report.path] = &report;
+
     bool all_complete = true;
     std::printf("%-14s %8s %10s %12s  %s\n", "experiment", "scale",
                 "shards", "cells", "status");
@@ -247,6 +311,35 @@ cmdStatus(const std::vector<std::string> &args)
                     static_cast<unsigned long long>(g.cellsCovered),
                     static_cast<unsigned long long>(g.cellTotal),
                     g.complete() ? "complete" : "INCOMPLETE");
+
+        // Per-shard detail: elapsed simulation time and, for incomplete
+        // grids, how long the shard file has sat unchanged (a crashed or
+        // wedged shard run never finishes its file).
+        double elapsed_total = 0.0;
+        for (const std::string &path : g.paths) {
+            const LoadedReport *report = by_path[path];
+            double elapsed = shardElapsed(path, g.experiment);
+            if (elapsed > 0.0)
+                elapsed_total += elapsed;
+            std::string stale;
+            if (!g.complete() && stale_after > 0.0) {
+                std::error_code ec;
+                auto mtime = fs::last_write_time(path, ec);
+                if (!ec) {
+                    double age = std::chrono::duration<double>(
+                        decltype(mtime)::clock::now() - mtime).count();
+                    if (age > stale_after)
+                        stale = strfmt("  STALE (unchanged %.0f s)", age);
+                }
+            }
+            std::printf("  shard %u/%-4u %-40s elapsed %s%s\n",
+                        report ? report->manifest.shardIndex : 0,
+                        report ? report->manifest.shardCount : 0,
+                        path.c_str(),
+                        elapsed >= 0.0 ? strfmt("%.2f s", elapsed).c_str()
+                                       : "n/a",
+                        stale.c_str());
+        }
         if (!g.complete()) {
             all_complete = false;
             std::string missing;
@@ -257,9 +350,77 @@ cmdStatus(const std::vector<std::string> &args)
                 g.cellsCovered + g.missingCells.size() < g.cellTotal;
             std::printf("  missing cells: %s%s\n", missing.c_str(),
                         truncated ? " ..." : "");
+            // Completion estimate from the covered cells' rate: crude
+            // (cells vary in cost) but enough to size a resume run.
+            if (g.cellsCovered > 0 && elapsed_total > 0.0)
+                std::printf("  estimated remaining: ~%.1f s of shard work "
+                            "(%llu cells at %.2f s/cell)\n",
+                            elapsed_total *
+                                static_cast<double>(g.cellTotal -
+                                                    g.cellsCovered) /
+                                static_cast<double>(g.cellsCovered),
+                            static_cast<unsigned long long>(
+                                g.cellTotal - g.cellsCovered),
+                            elapsed_total /
+                                static_cast<double>(g.cellsCovered));
         }
     }
     return all_complete ? 0 : 1;
+}
+
+int
+cmdPerfGate(const std::vector<std::string> &args)
+{
+    using namespace bh;
+
+    double min_ratio = 0.0;
+    std::vector<std::string> files;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--min-ratio") {
+            if (++i >= args.size()) {
+                std::fprintf(stderr,
+                             "bh_collect: --min-ratio needs a value\n");
+                return 2;
+            }
+            min_ratio = std::atof(args[i].c_str());
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "bh_collect perfgate: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2) {
+        std::fprintf(stderr, "bh_collect perfgate: GOLDEN.json and "
+                     "BENCH_perf.json required\n");
+        return 2;
+    }
+
+    Json docs[2];
+    for (int i = 0; i < 2; ++i) {
+        std::ifstream f(files[i], std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "bh_collect: cannot open %s\n",
+                         files[i].c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << f.rdbuf();
+        std::string err;
+        if (!Json::parse(text.str(), docs[i], &err)) {
+            std::fprintf(stderr, "bh_collect: %s: JSON parse error: %s\n",
+                         files[i].c_str(), err.c_str());
+            return 2;
+        }
+    }
+
+    PerfGateResult gate = perfGate(docs[0], docs[1], min_ratio);
+    for (const std::string &line : gate.lines)
+        std::printf("%s\n", line.c_str());
+    std::printf("bh_collect: perfgate %s\n", gate.pass ? "passed" : "FAILED");
+    return gate.pass ? 0 : 1;
 }
 
 int
@@ -349,6 +510,8 @@ main(int argc, char **argv)
         return cmdDiff(args);
     if (cmd == "status")
         return cmdStatus(args);
+    if (cmd == "perfgate")
+        return cmdPerfGate(args);
     std::fprintf(stderr, "bh_collect: unknown command '%s'\n", cmd.c_str());
     usage(stderr);
     return 2;

@@ -5,10 +5,22 @@
  * bh_collect replay plug into the bench layer.
  */
 
+#include <chrono>
+#include <mutex>
+
 #include "bench/bench_util.hh"
+#include "sim/system.hh"
 
 namespace bh
 {
+
+namespace
+{
+
+/** Serializes cellPerf insertion from pool workers. */
+std::mutex perfMutex;
+
+} // namespace
 
 std::vector<Json>
 BenchContext::runCells(const std::string &label, std::size_t n,
@@ -52,7 +64,18 @@ BenchContext::runCells(const std::string &label, std::size_t n,
         if (!runner)
             panic("runCells: no runner configured");
         runner->forEach(owned.size(), [&](std::size_t k) {
+            // Self-profile every executed cell: wall-clock around fn()
+            // plus the simulated cycles the worker thread covers inside
+            // it (System::run accumulates a thread-local counter).
+            resetSimCyclesThisThread();
+            auto t0 = std::chrono::steady_clock::now();
             out[owned[k]] = fn(owned[k]);
+            auto t1 = std::chrono::steady_clock::now();
+            CellPerf perf;
+            perf.wallS = std::chrono::duration<double>(t1 - t0).count();
+            perf.simCycles = simCyclesThisThread();
+            std::lock_guard<std::mutex> lock(perfMutex);
+            cellPerf[first + owned[k]] = perf;
         });
         for (std::size_t i : owned)
             if (out[i].isNull())

@@ -49,6 +49,7 @@ benchFig4(BenchContext &ctx)
             Json cell = Json::object();
             cell["ipc"] = res.ipc[0];
             cell["energy_j"] = res.energyJ;
+            cell["stats"] = res.stats;
             return cell;
         });
     if (!ctx.aggregate())

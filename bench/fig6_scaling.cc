@@ -48,6 +48,7 @@ runScenario(BenchContext &ctx, const char *label, const char *title,
             cell["hs"] = metrics.harmonicSpeedup;
             cell["ms"] = metrics.maxSlowdown;
             cell["energy_j"] = res.energyJ;
+            cell["stats"] = res.stats;
             return cell;
         });
     if (!ctx.aggregate())

@@ -21,9 +21,14 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <sstream>
+
+#include <ctime>
 
 #include "bench/registry.hh"
+#include "common/trace_sink.hh"
 #include "report/report.hh"
+#include "sim/system.hh"
 #include "workloads/fuzz_patterns.hh"
 
 namespace
@@ -69,7 +74,19 @@ usage(std::FILE *out)
         "                partials for bh_collect merge (default --out:\n"
         "                DIR itself)\n"
         "  --out DIR     directory for the JSON outputs (default: .)\n"
-        "  --help        this message\n");
+        "  --trace FILE[:FILTER]\n"
+        "                write a Chrome trace_event JSON timeline of the\n"
+        "                simulation to FILE (open in Perfetto / \n"
+        "                chrome://tracing). FILTER is a comma-separated\n"
+        "                list of category substrings (mem, queue, mitig,\n"
+        "                lane, skip); default all. Observation only:\n"
+        "                BENCH_*.json stays byte-identical with tracing\n"
+        "                on, off, or filtered\n"
+        "  --help        this message\n"
+        "\n"
+        "Every run also writes a BENCH_perf.json self-profile (wall-clock\n"
+        "and simulated cycles per experiment/phase/cell) next to the\n"
+        "reports; see `bh_collect perfgate`.\n");
 }
 
 /**
@@ -93,8 +110,10 @@ loadResumeReports(const std::string &dir)
         if (!it->is_regular_file(type_ec) || type_ec)
             continue;
         std::string name = it->path().filename().string();
+        // BENCH_perf.json is the self-profile sidecar, not a report.
         if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
-            name.compare(name.size() - 5, 5, ".json") == 0)
+            name.compare(name.size() - 5, 5, ".json") == 0 &&
+            name != "BENCH_perf.json")
             files.push_back(it->path().string());
     }
     if (ec)
@@ -182,6 +201,8 @@ main(int argc, char **argv)
     unsigned channels = 1;
     unsigned channel_threads = 1;
     std::string attack_filter;
+    std::string trace_path;
+    std::string trace_filter;
     bool list = false;
     std::vector<std::string> names;
 
@@ -244,6 +265,17 @@ main(int argc, char **argv)
             shard.count = count;
         } else if (!std::strcmp(arg, "--out")) {
             out_dir = value();
+        } else if (!std::strcmp(arg, "--trace")) {
+            trace_path = value();
+            // FILE[:FILTER] — split on the last ':' so relative paths
+            // with directories stay intact; an empty filter means all.
+            std::size_t colon = trace_path.rfind(':');
+            if (colon != std::string::npos) {
+                trace_filter = trace_path.substr(colon + 1);
+                trace_path = trace_path.substr(0, colon);
+            }
+            if (trace_path.empty())
+                fatal("--trace needs a file path");
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "unknown option: %s\n", arg);
             usage(stderr);
@@ -326,6 +358,12 @@ main(int argc, char **argv)
     if (resume_dir.size())
         resume_reports = loadResumeReports(resume_dir);
 
+    if (trace_path.size()) {
+        std::string err;
+        if (!TraceSink::open(trace_path, trace_filter, err))
+            fatal("--trace: %s", err.c_str());
+    }
+
     Runner runner(jobs);
     std::printf("bh_bench: %zu experiment(s), %u worker(s), scale %.2g",
                 selected.size(), runner.jobs(), scale);
@@ -336,8 +374,15 @@ main(int argc, char **argv)
         std::printf(", shard %u/%u", shard.index, shard.count);
     if (resume_dir.size())
         std::printf(", resuming from %s", resume_dir.c_str());
+    if (trace_path.size())
+        std::printf("tracing to %s%s%s\n", trace_path.c_str(),
+                    trace_filter.empty() ? "" : ", categories: ",
+                    trace_filter.c_str());
     std::printf("\n\n");
 
+    const std::int64_t started_unix =
+        static_cast<std::int64_t>(std::time(nullptr));
+    Json perf_experiments = Json::object();
     double total_s = 0.0;
     for (const BenchInfo *info : selected) {
         BenchContext ctx;
@@ -383,10 +428,51 @@ main(int argc, char **argv)
         }
 
         auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t sim0 = simCyclesTotal();
         runBench(*info, ctx);
+        std::uint64_t sim_cycles = simCyclesTotal() - sim0;
         auto t1 = std::chrono::steady_clock::now();
         double secs = std::chrono::duration<double>(t1 - t0).count();
         total_s += secs;
+
+        // Self-profile entry (BENCH_perf.json): wall-clock and simulated
+        // cycles per experiment, phase, and cell. Host-speed readings
+        // live only in this sidecar — BENCH_<name>.json must stay
+        // byte-identical across machines and job counts.
+        Json pe = Json::object();
+        pe["wall_s"] = secs;
+        pe["sim_cycles"] = static_cast<std::int64_t>(sim_cycles);
+        pe["cycles_per_sec"] =
+            secs > 0.0 ? static_cast<double>(sim_cycles) / secs : 0.0;
+        pe["cells_run"] = static_cast<std::int64_t>(ctx.cellsRun);
+        pe["cell_total"] = static_cast<std::int64_t>(ctx.nextCell);
+        Json pe_phases = Json::array();
+        for (const auto &phase : ctx.phases) {
+            double wall = 0.0;
+            std::uint64_t cyc = 0;
+            auto lo = ctx.cellPerf.lower_bound(phase.firstCell);
+            auto hi = ctx.cellPerf.lower_bound(phase.firstCell + phase.count);
+            for (auto it2 = lo; it2 != hi; ++it2) {
+                wall += it2->second.wallS;
+                cyc += it2->second.simCycles;
+            }
+            Json p = Json::object();
+            p["label"] = phase.label;
+            p["cells"] = static_cast<std::int64_t>(phase.count);
+            p["wall_s"] = wall;
+            p["sim_cycles"] = static_cast<std::int64_t>(cyc);
+            pe_phases.push(std::move(p));
+        }
+        pe["phases"] = std::move(pe_phases);
+        Json pe_cells = Json::object();
+        for (const auto &kv : ctx.cellPerf) {
+            Json c = Json::object();
+            c["wall_ms"] = kv.second.wallS * 1e3;
+            c["sim_cycles"] = static_cast<std::int64_t>(kv.second.simCycles);
+            pe_cells[std::to_string(kv.first)] = std::move(c);
+        }
+        pe["cells"] = std::move(pe_cells);
+        perf_experiments[info->name] = std::move(pe);
 
         std::string path = ctx.resumeCovered
             ? resumeOutputPath(out_dir, info->name)
@@ -423,6 +509,59 @@ main(int argc, char **argv)
             std::printf("[%s: %.2f s -> %s]\n\n", info->name, secs,
                         path.c_str());
     }
+    // Write the BENCH_perf.json self-profile sidecar. Merge-on-write:
+    // a later invocation into the same --out directory (e.g. running
+    // experiments one at a time, or a resume pass) updates its own
+    // experiments' entries and keeps the rest.
+    {
+        std::string perf_path = out_dir + "/BENCH_perf.json";
+        Json perf = Json::object();
+        std::ifstream existing(perf_path, std::ios::binary);
+        if (existing) {
+            std::ostringstream text;
+            text << existing.rdbuf();
+            Json prior;
+            if (Json::parse(text.str(), prior) &&
+                prior.type() == Json::Type::Object) {
+                const Json *prev = prior.find("experiments");
+                if (prev && prev->type() == Json::Type::Object) {
+                    Json merged = Json::object();
+                    for (const auto &kv : prev->objectItems())
+                        merged[kv.first] = kv.second;
+                    for (const auto &kv : perf_experiments.objectItems())
+                        merged[kv.first] = kv.second;
+                    perf_experiments = std::move(merged);
+                }
+            }
+        }
+        perf["format"] = kBenchFormatVersion;
+        perf["scale"] = scale;
+        perf["jobs"] = static_cast<std::int64_t>(runner.jobs());
+        perf["channels"] = static_cast<std::int64_t>(channels);
+        perf["channel_threads"] = static_cast<std::int64_t>(channel_threads);
+        perf["shard"] = strfmt("%u/%u", shard.index, shard.count);
+        perf["started_unix"] = started_unix;
+        perf["finished_unix"] =
+            static_cast<std::int64_t>(std::time(nullptr));
+        perf["total_wall_s"] = total_s;
+        perf["experiments"] = std::move(perf_experiments);
+        std::ofstream pf(perf_path, std::ios::binary);
+        if (!pf)
+            fatal("cannot write %s", perf_path.c_str());
+        pf << perf.dump(2) << "\n";
+    }
+
+    if (trace_path.size()) {
+        std::uint64_t events = TraceSink::eventsEmitted();
+        TraceSink::close();
+        std::printf("bh_bench: trace: %llu event(s) -> %s\n",
+                    static_cast<unsigned long long>(events),
+                    trace_path.c_str());
+    }
+    if (warnSuppressedCount() > 0)
+        std::fprintf(stderr,
+                     "bh_bench: %llu further warning(s) were suppressed\n",
+                     static_cast<unsigned long long>(warnSuppressedCount()));
     std::printf("bh_bench: done, %.2f s total\n", total_s);
     return 0;
 }

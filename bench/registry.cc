@@ -151,7 +151,7 @@ runBench(const BenchInfo &info, BenchContext &ctx)
     manifest["phases"] = std::move(phases);
     Json digests = Json::object();
     for (const auto &kv : ctx.cells.objectItems())
-        digests[kv.first] = hex64(fnv1a64(kv.second.dump()));
+        digests[kv.first] = cellDigest(kv.second);
     manifest["cell_digests"] = std::move(digests);
     ctx.result["manifest"] = std::move(manifest);
     ctx.result["cells"] = std::move(ctx.cells);

@@ -97,6 +97,7 @@ benchSecSweep(BenchContext &ctx)
                     static_cast<std::int64_t>(res.demandActs);
                 cell["attack_ipc"] = res.ipc[0];
                 cell["benign_ipc_mean"] = mean(res.benignIpc());
+                cell["stats"] = res.stats;
                 return cell;
             });
     }

@@ -17,7 +17,18 @@ BlockHammer::isActSafe(unsigned bank, RowId row, ThreadId thread, Cycle now)
     bool safe = blocker.isSafe(bank, row, now);
     if (!safe) {
         ++numUnsafe;
-        firstBlocked.try_emplace(key(bank, row), now);
+        // Trace only the first refusal of a delay episode: the
+        // controller re-queries every tick, and the episode (not the
+        // per-tick verdict) is the interesting observable.
+        bool first =
+            firstBlocked.try_emplace(key(bank, row), now).second;
+        if (first && TraceSink::on()) {
+            TraceSink::instant(
+                "mitig", "blacklist_block", tmeta, now,
+                {{"bank", static_cast<std::int64_t>(bank)},
+                 {"row", static_cast<std::int64_t>(row)},
+                 {"thread", static_cast<std::int64_t>(thread)}});
+        }
     }
     // Observe-only mode computes everything but never interferes
     // (Section 3.2.1).
@@ -35,6 +46,15 @@ BlockHammer::onActivate(unsigned bank, RowId row, ThreadId thread, Cycle now)
     if (blacklisted) {
         ++numBlacklistedActs;
         throttler.onBlacklistedActivate(thread, bank);
+        if (TraceSink::on()) {
+            TraceSink::instant(
+                "mitig", "blacklisted_act", tmeta, now,
+                {{"bank", static_cast<std::int64_t>(bank)},
+                 {"row", static_cast<std::int64_t>(row)},
+                 {"thread", static_cast<std::int64_t>(thread)},
+                 {"quota",
+                  static_cast<std::int64_t>(quota(thread, bank))}});
+        }
     }
 
     // Delay accounting: if this row was previously refused, the elapsed
@@ -105,6 +125,32 @@ BlockHammer::quota(ThreadId thread, unsigned bank) const
     if (cfg.observeOnly)
         return -1;
     return throttler.quota(thread, bank);
+}
+
+void
+BlockHammer::syncStats()
+{
+    stats.inc("bh.acts", numActs);
+    stats.inc("bh.blacklisted_acts", numBlacklistedActs);
+    stats.inc("bh.delayed_acts", numDelayedActs);
+    stats.inc("bh.false_positive_acts", numFalsePos);
+    stats.inc("bh.unsafe_verdicts", numUnsafe);
+    stats.set("bh.blacklist_rate",
+              numActs ? static_cast<double>(numBlacklistedActs) /
+                      static_cast<double>(numActs)
+                      : 0.0);
+    // Active-CBF occupancy averaged over banks: the saturation measure
+    // behind Section 8.4's false-positive analysis.
+    double occ = 0.0;
+    for (unsigned b = 0; b < cfg.banks; ++b)
+        occ += blocker.bankFilter(b).activeFilter().occupancy();
+    stats.set("bh.cbf_occupancy",
+              cfg.banks ? occ / static_cast<double>(cfg.banks) : 0.0);
+    Histogram &delays = stats.hist("bh.delay_cycles");
+    if (delays.count() == 0) {
+        delays = delayHist;
+        stats.hist("bh.fp_delay_cycles") = fpHist;
+    }
 }
 
 } // namespace bh

@@ -38,6 +38,7 @@ class BlockHammer : public Mitigation
     Cycle nextVerdictChangeAt(Cycle now) const override;
     void noteSkippedTicks(std::uint64_t n) override;
     int quota(ThreadId thread, unsigned bank) const override;
+    void syncStats() override;
 
     /** RHLI of <thread, bank> — the OS-facing interface (Section 3.2.3). */
     double rhli(ThreadId thread, unsigned bank) const

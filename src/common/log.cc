@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -11,6 +12,12 @@ namespace
 {
 
 bool verboseEnabled = true;
+
+// Non-verbose warn() rate limit: print the first kWarnLimit warnings,
+// count the rest. Atomics because channel-lane workers warn too.
+constexpr std::uint64_t kWarnLimit = 10;
+std::atomic<std::uint64_t> warnPrinted{0};
+std::atomic<std::uint64_t> warnSuppressed{0};
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
@@ -45,6 +52,24 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (!verboseEnabled) {
+        std::uint64_t seen =
+            warnPrinted.fetch_add(1, std::memory_order_relaxed);
+        if (seen >= kWarnLimit) {
+            warnSuppressed.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        if (seen == kWarnLimit - 1) {
+            va_list ap;
+            va_start(ap, fmt);
+            vreport("warn", fmt, ap);
+            va_end(ap);
+            std::fprintf(stderr,
+                         "warn: (further warnings suppressed; summary "
+                         "at exit)\n");
+            return;
+        }
+    }
     va_list ap;
     va_start(ap, fmt);
     vreport("warn", fmt, ap);
@@ -68,6 +93,19 @@ void
 setVerbose(bool verbose)
 {
     verboseEnabled = verbose;
+}
+
+std::uint64_t
+warnSuppressedCount()
+{
+    return warnSuppressed.load(std::memory_order_relaxed);
+}
+
+void
+resetWarnLimit()
+{
+    warnPrinted.store(0, std::memory_order_relaxed);
+    warnSuppressed.store(0, std::memory_order_relaxed);
 }
 
 std::string

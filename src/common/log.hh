@@ -11,6 +11,7 @@
 #define BH_COMMON_LOG_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace bh
@@ -22,14 +23,27 @@ namespace bh
 /** Exit(1) with a message; use for user configuration errors. */
 [[noreturn]] void fatal(const char *fmt, ...);
 
-/** Print a warning about questionable-but-survivable conditions. */
+/**
+ * Print a warning about questionable-but-survivable conditions.
+ *
+ * When verbose output is off (setVerbose(false), as benches do), only
+ * the first few warnings print; the rest are counted instead of
+ * flooding stderr, and warnSuppressedCount() reports how many were
+ * dropped so callers can print one summary line at exit.
+ */
 void warn(const char *fmt, ...);
 
 /** Print an informational status message. */
 void inform(const char *fmt, ...);
 
-/** Enable/disable inform() output (benches silence it). */
+/** Enable/disable inform() output and warn() rate limiting. */
 void setVerbose(bool verbose);
+
+/** Warnings suppressed by the non-verbose rate limit since last reset. */
+std::uint64_t warnSuppressedCount();
+
+/** Reset the warn rate limiter (printed + suppressed counts). */
+void resetWarnLimit();
 
 /** printf-style formatting into a std::string. */
 std::string strfmt(const char *fmt, ...);

@@ -7,7 +7,8 @@
 namespace bh
 {
 
-Histogram::Histogram(std::size_t max_samples) : maxSamples(max_samples)
+Histogram::Histogram(std::size_t max_samples, std::uint64_t seed)
+    : maxSamples(max_samples), rng(seed)
 {
 }
 
@@ -26,8 +27,9 @@ Histogram::add(std::int64_t value)
         samples.push_back(value);
         sorted = false;
     } else {
-        // Reservoir sampling keeps a uniform subset without growing memory.
-        std::uint64_t slot = (total * 2654435761u) % total;
+        // Algorithm R: replace a random slot with probability k/total.
+        // The seeded stream keeps the retained subset deterministic.
+        std::uint64_t slot = rng.below(total);
         if (slot < samples.size()) {
             samples[slot] = value;
             sorted = false;
@@ -46,6 +48,12 @@ Histogram::percentile(double p) const
 {
     if (samples.empty())
         return 0;
+    // The tracked extremes are exact even when the reservoir dropped
+    // them; a negative p must not wrap through size_t below.
+    if (p <= 0.0)
+        return min();
+    if (p >= 100.0)
+        return max();
     if (!sorted) {
         std::sort(samples.begin(), samples.end());
         sorted = true;
@@ -104,6 +112,16 @@ StatSet::hist(const std::string &name)
     return histMap[name];
 }
 
+Histogram &
+StatSet::hist(const std::string &name, std::size_t max_samples,
+              std::uint64_t seed)
+{
+    auto it = histMap.find(name);
+    if (it == histMap.end())
+        it = histMap.emplace(name, Histogram(max_samples, seed)).first;
+    return it->second;
+}
+
 const Histogram *
 StatSet::findHist(const std::string &name) const
 {
@@ -127,14 +145,57 @@ StatSet::dump() const
         os << name << " " << value << "\n";
     for (const auto &[name, value] : scalarMap)
         os << name << " " << value << "\n";
+    // histMap is an ordered map, so histogram lines come out in
+    // lexicographic name order with a fixed field order: stable bytes.
     for (const auto &[name, h] : histMap) {
         os << name << ".count " << h.count()
            << " mean " << h.mean()
+           << " min " << h.min()
            << " p50 " << h.percentile(50)
            << " p90 " << h.percentile(90)
+           << " p99 " << h.percentile(99)
            << " max " << h.max() << "\n";
     }
     return os.str();
+}
+
+Json
+Histogram::summaryJson() const
+{
+    Json j = Json::object();
+    j["count"] = total;
+    j["mean"] = mean();
+    j["min"] = min();
+    j["p50"] = percentile(50);
+    j["p90"] = percentile(90);
+    j["p99"] = percentile(99);
+    j["max"] = max();
+    return j;
+}
+
+Json
+StatSet::toJson() const
+{
+    Json out = Json::object();
+    if (!counterMap.empty()) {
+        Json c = Json::object();
+        for (const auto &[name, value] : counterMap)
+            c[name] = value;
+        out["counters"] = c;
+    }
+    if (!scalarMap.empty()) {
+        Json s = Json::object();
+        for (const auto &[name, value] : scalarMap)
+            s[name] = value;
+        out["scalars"] = s;
+    }
+    if (!histMap.empty()) {
+        Json h = Json::object();
+        for (const auto &[name, hist] : histMap)
+            h[name] = hist.summaryJson();
+        out["hists"] = h;
+    }
+    return out;
 }
 
 } // namespace bh

@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+#include "common/rng.hh"
+
 namespace bh
 {
 
@@ -23,8 +26,14 @@ namespace bh
 class Histogram
 {
   public:
-    /** @param max_samples 0 = keep everything; else reservoir-sample. */
-    explicit Histogram(std::size_t max_samples = 0);
+    /**
+     * @param max_samples 0 = keep everything; else reservoir-sample.
+     * @param seed seeds the reservoir's replacement stream, so a given
+     *        sample sequence always retains the same subset (runs are
+     *        reproducible bit-for-bit regardless of wall clock or ASLR).
+     */
+    explicit Histogram(std::size_t max_samples = 0,
+                       std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
     /** Record one sample. */
     void add(std::int64_t value);
@@ -42,16 +51,24 @@ class Histogram
     std::int64_t max() const { return total ? maxVal : 0; }
 
     /**
-     * Value at percentile p in [0, 100]. Exact over retained samples.
-     * Returns 0 when empty.
+     * Value at percentile p. Exact over retained samples; p <= 0 is the
+     * true minimum and p >= 100 the true maximum (exact even when the
+     * reservoir dropped them). Returns 0 when empty.
      */
     std::int64_t percentile(double p) const;
 
     /** Drop all samples. */
     void clear();
 
+    /**
+     * Five-number-ish JSON summary: count, mean, min, p50, p90, p99,
+     * max. Keys are emitted in that fixed order.
+     */
+    Json summaryJson() const;
+
   private:
     std::size_t maxSamples;
+    Rng rng;
     std::uint64_t total = 0;
     double sum = 0.0;
     std::int64_t minVal = 0;
@@ -84,6 +101,15 @@ class StatSet
 
     /** Histogram access; creates an empty one if absent. */
     Histogram &hist(const std::string &name);
+
+    /**
+     * Histogram access, creating a bounded reservoir histogram if
+     * absent (an existing histogram keeps its original bounds). Use for
+     * per-request series that would otherwise grow with run length.
+     */
+    Histogram &hist(const std::string &name, std::size_t max_samples,
+                    std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
     const Histogram *findHist(const std::string &name) const;
 
     /** All counters, for dumping. */
@@ -101,8 +127,21 @@ class StatSet
     /** Reset everything to zero/empty. */
     void clear();
 
-    /** Render all stats as "name value" lines. */
+    /**
+     * Render all stats as "name value" lines: counters, then scalars,
+     * then histograms, each section in lexicographic name order and
+     * histogram fields in the fixed summaryJson() order — the output is
+     * stable across runs and platforms.
+     */
     std::string dump() const;
+
+    /**
+     * Snapshot as JSON: {"counters": {...}, "scalars": {...},
+     * "hists": {name: summaryJson(), ...}}. Sections with no entries
+     * are omitted; all orderings are lexicographic, so two equal
+     * StatSets serialize to identical bytes.
+     */
+    Json toJson() const;
 
   private:
     std::map<std::string, std::uint64_t> counterMap;

@@ -1,0 +1,172 @@
+#include "common/trace_sink.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace bh
+{
+
+bool TraceSink::enabledFlag = false;
+
+namespace
+{
+
+std::FILE *traceFile = nullptr;
+std::mutex traceMutex;
+std::vector<std::string> traceFilter;
+bool firstEvent = true;
+std::atomic<std::uint32_t> nextPid{1};
+std::atomic<std::uint64_t> numEmitted{0};
+
+} // namespace
+
+bool
+TraceSink::open(const std::string &path, const std::string &filter,
+                std::string &err)
+{
+    std::lock_guard<std::mutex> lock(traceMutex);
+    if (traceFile) {
+        err = "trace already open";
+        return false;
+    }
+    traceFile = std::fopen(path.c_str(), "wb");
+    if (!traceFile) {
+        err = "cannot create trace file: " + path;
+        return false;
+    }
+    traceFilter.clear();
+    std::size_t start = 0;
+    while (start <= filter.size()) {
+        std::size_t comma = filter.find(',', start);
+        if (comma == std::string::npos)
+            comma = filter.size();
+        if (comma > start)
+            traceFilter.push_back(filter.substr(start, comma - start));
+        start = comma + 1;
+    }
+    firstEvent = true;
+    nextPid.store(1, std::memory_order_relaxed);
+    numEmitted.store(0, std::memory_order_relaxed);
+    // Process-name metadata event so viewers label the timeline; pid 0
+    // is reserved for it (simulated systems start at pid 1).
+    std::fputs("[\n{\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+               "\"name\":\"process_name\","
+               "\"args\":{\"name\":\"bh_bench\"}}",
+               traceFile);
+    firstEvent = false;
+    enabledFlag = true;
+    return true;
+}
+
+void
+TraceSink::close()
+{
+    std::lock_guard<std::mutex> lock(traceMutex);
+    if (!traceFile)
+        return;
+    enabledFlag = false;
+    std::fputs("\n]\n", traceFile);
+    std::fclose(traceFile);
+    traceFile = nullptr;
+    traceFilter.clear();
+}
+
+bool
+TraceSink::wants(const char *category)
+{
+    if (traceFilter.empty())
+        return true;
+    std::string cat(category);
+    for (const std::string &token : traceFilter) {
+        if (cat.find(token) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+std::uint32_t
+TraceSink::newPid()
+{
+    return nextPid.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceSink::eventsEmitted()
+{
+    return numEmitted.load(std::memory_order_relaxed);
+}
+
+void
+TraceSink::instant(const char *category, const char *name,
+                   const TraceMeta &meta, Cycle ts,
+                   std::initializer_list<Arg> args)
+{
+    emit('i', category, name, meta, ts, 0, args);
+}
+
+void
+TraceSink::complete(const char *category, const char *name,
+                    const TraceMeta &meta, Cycle ts, Cycle dur,
+                    std::initializer_list<Arg> args)
+{
+    emit('X', category, name, meta, ts, dur, args);
+}
+
+void
+TraceSink::counter(const char *category, const char *name,
+                   const TraceMeta &meta, Cycle ts,
+                   std::initializer_list<Arg> args)
+{
+    emit('C', category, name, meta, ts, 0, args);
+}
+
+void
+TraceSink::emit(char ph, const char *category, const char *name,
+                const TraceMeta &meta, Cycle ts, Cycle dur,
+                std::initializer_list<Arg> args)
+{
+    if (!on() || !wants(category))
+        return;
+    // Categories, names, and arg keys are compile-time identifiers at
+    // every call site, so no JSON string escaping is needed here.
+    char buf[512];
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"ph\":\"%c\",\"cat\":\"%s\",\"name\":\"%s\","
+        "\"pid\":%u,\"tid\":%u,\"ts\":%llu",
+        ph, category, name, meta.pid, meta.tid,
+        static_cast<unsigned long long>(ts));
+    std::string line(buf, static_cast<std::size_t>(n));
+    if (ph == 'X') {
+        n = std::snprintf(buf, sizeof(buf), ",\"dur\":%llu",
+                          static_cast<unsigned long long>(dur));
+        line.append(buf, static_cast<std::size_t>(n));
+    }
+    if (ph == 'i')
+        line += ",\"s\":\"t\"";
+    if (args.size() > 0 || ph == 'C') {
+        line += ",\"args\":{";
+        bool first = true;
+        for (const Arg &arg : args) {
+            n = std::snprintf(buf, sizeof(buf), "%s\"%s\":%lld",
+                              first ? "" : ",", arg.first,
+                              static_cast<long long>(arg.second));
+            line.append(buf, static_cast<std::size_t>(n));
+            first = false;
+        }
+        line += "}";
+    }
+    line += "}";
+
+    std::lock_guard<std::mutex> lock(traceMutex);
+    if (!traceFile)
+        return;
+    std::fputs(firstEvent ? "" : ",\n", traceFile);
+    firstEvent = false;
+    std::fputs(line.c_str(), traceFile);
+    numEmitted.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace bh

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Global simulation trace sink emitting Chrome trace_event JSON
+ * (chrome://tracing / Perfetto "JSON array format").
+ *
+ * Observation only, by construction: every emitter is gated on on(), no
+ * emitter returns a value, and no simulator component may branch on the
+ * sink's state beyond that gate — so a traced run executes exactly the
+ * same simulation as an untraced one and BENCH_*.json outputs stay
+ * byte-identical with tracing on, off, or filtered (enforced by
+ * tests/test_trace.cc).
+ *
+ * Conventions (see DESIGN.md "Observability"):
+ *  - one trace "process" (pid) per simulated System instance (i.e. per
+ *    sweep cell; pids are assigned in creation order and carry no
+ *    cross-run meaning when cells run on a worker pool);
+ *  - one trace "thread" (tid) per channel lane; tid == channel count is
+ *    the system driver row (chunk spans, skip jumps);
+ *  - timestamps are simulated CPU cycles, written as integer "ts"
+ *    microseconds (1 trace us == 1 simulated cycle — exact, and
+ *    Perfetto's timeline math needs no configuration);
+ *  - categories: "mem" (DRAM commands), "queue" (admission rejects),
+ *    "mitig" (mitigation verdicts/triggers), "lane" (chunk spans),
+ *    "skip" (event-skip jumps).
+ *
+ * The sink is process-global and mutex-serialized on the emit path;
+ * open()/close() must only be called while no simulation is running.
+ * When disabled (the default) every emitter is a single predictable
+ * branch; compiling with -DBH_NO_TRACING folds on() to a constant false
+ * and dead-codes the emit calls out entirely.
+ */
+
+#ifndef BH_COMMON_TRACE_SINK_HH
+#define BH_COMMON_TRACE_SINK_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "common/types.hh"
+
+namespace bh
+{
+
+/** Emitter identity: which simulated system and channel an event is from. */
+struct TraceMeta
+{
+    std::uint32_t pid = 0;      ///< simulated System instance
+    std::uint32_t tid = 0;      ///< channel lane (channels == driver row)
+};
+
+class TraceSink
+{
+  public:
+    /** One "args" entry: a name literal and an integer value. */
+    using Arg = std::pair<const char *, std::int64_t>;
+
+    /** True when a trace file is open (the gate for every emit call). */
+    static bool
+    on()
+    {
+#ifdef BH_NO_TRACING
+        return false;
+#else
+        return enabledFlag;
+#endif
+    }
+
+    /**
+     * Open `path` and start a trace. `filter` is a comma-separated list
+     * of category substrings ("" = everything): an event is written when
+     * any token is a substring of its category. Returns false (with a
+     * message in `err`) when the file cannot be created.
+     */
+    static bool open(const std::string &path, const std::string &filter,
+                     std::string &err);
+
+    /** Finish the JSON array and close the file (no-op when not open). */
+    static void close();
+
+    /** Category filter check (true when unfiltered). */
+    static bool wants(const char *category);
+
+    /**
+     * Allocate a fresh trace pid for one simulated System. Monotonic and
+     * race-free; meaningful only while a trace is open.
+     */
+    static std::uint32_t newPid();
+
+    /** Instant event (ph "i"): a point occurrence at `ts`. */
+    static void instant(const char *category, const char *name,
+                        const TraceMeta &meta, Cycle ts,
+                        std::initializer_list<Arg> args = {});
+
+    /** Complete event (ph "X"): a span of `dur` cycles starting at `ts`. */
+    static void complete(const char *category, const char *name,
+                         const TraceMeta &meta, Cycle ts, Cycle dur,
+                         std::initializer_list<Arg> args = {});
+
+    /** Counter event (ph "C"): sampled series values at `ts`. */
+    static void counter(const char *category, const char *name,
+                        const TraceMeta &meta, Cycle ts,
+                        std::initializer_list<Arg> args);
+
+    /** Events written to the current (or last) trace. */
+    static std::uint64_t eventsEmitted();
+
+  private:
+    static void emit(char ph, const char *category, const char *name,
+                     const TraceMeta &meta, Cycle ts, Cycle dur,
+                     std::initializer_list<Arg> args);
+
+    static bool enabledFlag;
+};
+
+} // namespace bh
+
+#endif // BH_COMMON_TRACE_SINK_HH

@@ -20,6 +20,11 @@ MemController::MemController(DramDevice &device, const ControllerConfig &config,
       banks(device.numBanks())
 {
     mitig.setController(this);
+    // Bounded reservoirs: per-request series must not grow with run
+    // length. Seeded, so retained subsets are reproducible.
+    latencyHist = &stats.hist("mc.latency", 4096);
+    readDepthHist = &stats.hist("mc.read_queue_depth", 4096);
+    writeDepthHist = &stats.hist("mc.write_queue_depth", 4096);
 }
 
 bool
@@ -45,8 +50,23 @@ MemController::enqueue(Request req)
         if (req.thread >= 0)
             ++threadStatsMutable(req.thread).writes;
     }
+    // Depth is sampled per accepted request (event-driven, never per
+    // tick), so the series is identical across skip modes and thread
+    // counts.
+    readDepthHist->add(static_cast<std::int64_t>(readQ.size()) +
+                       (req.type == ReqType::kRead ? 1 : 0));
+    writeDepthHist->add(static_cast<std::int64_t>(writeQ.size()) +
+                        (req.type == ReqType::kWrite ? 1 : 0));
+    Cycle arrival = req.arrival;
     queue.push(std::move(req));
     ++numActions;
+    if (TraceSink::on()) {
+        TraceSink::counter("queue", "depth", tmeta, arrival,
+                           {{"read",
+                             static_cast<std::int64_t>(readQ.size())},
+                            {"write",
+                             static_cast<std::int64_t>(writeQ.size())}});
+    }
     return true;
 }
 
@@ -119,6 +139,13 @@ MemController::tryRefresh(Cycle now)
 
     auto range = dram.issueRefresh(now);
     ++numActions;
+    if (TraceSink::on()) {
+        TraceSink::instant("mem", "refresh", tmeta, now,
+                           {{"first_row",
+                             static_cast<std::int64_t>(range.firstRow)},
+                            {"rows",
+                             static_cast<std::int64_t>(range.numRows)}});
+    }
     if (energy)
         energy->onCommand(DramCommand::kRef, now);
     if (hammer)
@@ -154,6 +181,12 @@ MemController::tryVictimRefresh(Cycle now)
             if (dram.canIssue(DramCommand::kAct, fb, now)) {
                 dram.issue(DramCommand::kAct, fb, op.row, now);
                 ++numActions;
+                if (TraceSink::on()) {
+                    TraceSink::instant(
+                        "mem", "victim_act", tmeta, now,
+                        {{"bank", static_cast<std::int64_t>(fb)},
+                         {"row", static_cast<std::int64_t>(op.row)}});
+                }
                 if (energy) {
                     energy->onCommand(DramCommand::kAct, now);
                     energy->onOpenBankCount(dram.openBankCount(), now);
@@ -294,7 +327,7 @@ MemController::issueColumn(SchedQueue &queue, SchedQueue::Handle h,
         : now + t.tCWL + t.tBL;
     if (req.type == ReqType::kRead)
         noteInflight(req.thread, fb, -1);
-    stats.sample("mc.latency", done - req.arrival);
+    latencyHist->add(static_cast<std::int64_t>(done - req.arrival));
     if (req.onComplete) {
         if (completionSink) {
             completionSink->push_back(DeferredCompletion{
@@ -314,6 +347,10 @@ MemController::issuePrep(SchedQueue &queue, SchedQueue::Handle h, Cycle now)
     if (bank.isOpen()) {
         dram.issue(DramCommand::kPre, fb, 0, now);
         ++numActions;
+        if (TraceSink::on()) {
+            TraceSink::instant("mem", "pre", tmeta, now,
+                               {{"bank", static_cast<std::int64_t>(fb)}});
+        }
         if (energy)
             energy->onOpenBankCount(dram.openBankCount(), now);
         req.neededPrecharge = true;
@@ -322,6 +359,14 @@ MemController::issuePrep(SchedQueue &queue, SchedQueue::Handle h, Cycle now)
     }
     dram.issue(DramCommand::kAct, fb, req.coord.row, now);
     ++numActions;
+    if (TraceSink::on()) {
+        TraceSink::instant("mem", "act", tmeta, now,
+                           {{"bank", static_cast<std::int64_t>(fb)},
+                            {"row",
+                             static_cast<std::int64_t>(req.coord.row)},
+                            {"thread",
+                             static_cast<std::int64_t>(req.thread)}});
+    }
     hitStreak[fb] = 0;
     if (energy) {
         energy->onCommand(DramCommand::kAct, now);
@@ -489,6 +534,11 @@ MemController::syncStats()
     stats.inc("mc.victim_refresh_scheduled", numVictimScheduled);
     stats.inc("mc.victim_refresh_done", numVictimDone);
     stats.inc("mc.refreshes", numRefreshes);
+    std::uint64_t classified = numRowHits + numRowMisses + numRowConflicts;
+    stats.set("mc.row_hit_rate",
+              classified ? static_cast<double>(numRowHits) /
+                      static_cast<double>(classified)
+                         : 0.0);
 }
 
 } // namespace bh

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace_sink.hh"
 #include "dram/device.hh"
 #include "dram/energy.hh"
 #include "dram/hammer_observer.hh"
@@ -197,6 +198,13 @@ class MemController
     /** Publish counters into `stats` (call once after a run). */
     void syncStats();
 
+    /**
+     * Trace identity (pid = simulated system, tid = channel). Assigned
+     * by System when a trace is open; observation-only.
+     */
+    void setTraceMeta(const TraceMeta &meta) { tmeta = meta; }
+    const TraceMeta &traceMeta() const { return tmeta; }
+
     const DramDevice &device() const { return dram; }
     Mitigation &mitigation() { return mitig; }
 
@@ -237,6 +245,13 @@ class MemController
 
     std::vector<DeferredCompletion> *completionSink = nullptr;
     std::uint64_t completionSeq = 0;
+
+    TraceMeta tmeta;
+
+    // Cached bounded histograms (avoid a map lookup per request).
+    Histogram *latencyHist;
+    Histogram *readDepthHist;
+    Histogram *writeDepthHist;
 
     std::vector<int> inflightCount;     ///< [thread * banks + bank]
     std::vector<unsigned> hitStreak;    ///< consecutive row hits per bank

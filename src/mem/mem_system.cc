@@ -105,6 +105,15 @@ MemSystem::submit(Request req)
                                            : lane.ctrl->writeQueueFull();
     if (full) {
         lane.ctrl->noteQueueFullReject();
+        if (TraceSink::on()) {
+            TraceSink::instant(
+                "queue", "queue_full", lane.ctrl->traceMeta(),
+                req.arrival,
+                {{"thread", static_cast<std::int64_t>(req.thread)},
+                 {"read",
+                  static_cast<std::int64_t>(
+                      req.type == ReqType::kRead ? 1 : 0)}});
+        }
         return SubmitResult::kQueueFull;
     }
 
@@ -116,6 +125,14 @@ MemSystem::submit(Request req)
         int q = lane.mitig->quota(req.thread, fb);
         if (q >= 0 && lane.ctrl->inflight(req.thread, fb) >= q) {
             ++numQuotaRejects;
+            if (TraceSink::on()) {
+                TraceSink::instant(
+                    "queue", "quota_reject", lane.ctrl->traceMeta(),
+                    req.arrival,
+                    {{"thread", static_cast<std::int64_t>(req.thread)},
+                     {"bank", static_cast<std::int64_t>(fb)},
+                     {"quota", static_cast<std::int64_t>(q)}});
+            }
             return SubmitResult::kQuotaExceeded;
         }
     }

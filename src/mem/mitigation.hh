@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/stats.hh"
+#include "common/trace_sink.hh"
 #include "common/types.hh"
 
 namespace bh
@@ -111,11 +112,23 @@ class Mitigation
     /** Wire up the owning controller (for victim-refresh scheduling). */
     virtual void setController(MemController *mc) { controller = mc; }
 
+    /**
+     * Publish mechanism counters into `stats` (call once after a run).
+     * Mechanisms with internal counters not already mirrored in `stats`
+     * override this; the default is a no-op.
+     */
+    virtual void syncStats() {}
+
+    /** Trace identity; assigned by System when a trace is open. */
+    void setTraceMeta(const TraceMeta &meta) { tmeta = meta; }
+    const TraceMeta &traceMeta() const { return tmeta; }
+
     /** Mechanism-specific statistics. */
     StatSet stats;
 
   protected:
     MemController *controller = nullptr;
+    TraceMeta tmeta;
 };
 
 /** No-op mechanism: the unprotected baseline system. */

@@ -63,7 +63,7 @@ Cbt::refreshRegion(unsigned bank, const Region &region)
 }
 
 void
-Cbt::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
+Cbt::onActivate(unsigned bank, RowId row, ThreadId, Cycle now)
 {
     auto &tree = trees[bank];
     // Find the region containing `row` (regions are sorted and disjoint).
@@ -91,6 +91,14 @@ Cbt::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
         tree.regions.insert(it + 1, right);
     } else {
         // Deepest level (or out of counters): refresh the whole region.
+        if (TraceSink::on()) {
+            TraceSink::instant(
+                "mitig", "cbt_region_refresh", tmeta, now,
+                {{"bank", static_cast<std::int64_t>(bank)},
+                 {"first_row", static_cast<std::int64_t>(it->lo)},
+                 {"rows",
+                  static_cast<std::int64_t>(it->hi - it->lo)}});
+        }
         refreshRegion(bank, *it);
         it->count = 0;
     }

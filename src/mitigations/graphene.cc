@@ -23,8 +23,13 @@ Graphene::Graphene(const MitigationSettings &settings)
 }
 
 void
-Graphene::refreshNeighbors(unsigned bank, RowId row)
+Graphene::refreshNeighbors(unsigned bank, RowId row, Cycle now)
 {
+    if (TraceSink::on()) {
+        TraceSink::instant("mitig", "graphene_refresh", tmeta, now,
+                           {{"bank", static_cast<std::int64_t>(bank)},
+                            {"row", static_cast<std::int64_t>(row)}});
+    }
     for (unsigned k = 1; k <= cfg.blastRadius; ++k) {
         for (int dir : {-1, 1}) {
             std::int64_t victim = static_cast<std::int64_t>(row) +
@@ -40,14 +45,14 @@ Graphene::refreshNeighbors(unsigned bank, RowId row)
 }
 
 void
-Graphene::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
+Graphene::onActivate(unsigned bank, RowId row, ThreadId, Cycle now)
 {
     auto &table = tables[bank];
     auto it = table.counts.find(row);
     if (it != table.counts.end()) {
         ++it->second;
         if (it->second % thT == 0)
-            refreshNeighbors(bank, row);
+            refreshNeighbors(bank, row, now);
         return;
     }
     if (table.counts.size() < numEntries) {
@@ -69,7 +74,7 @@ Graphene::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
         table.spillover = displaced;
         auto &cnt = table.counts[row];
         if (cnt >= thT && cnt % thT == 0)
-            refreshNeighbors(bank, row);
+            refreshNeighbors(bank, row, now);
     }
 }
 

@@ -49,7 +49,7 @@ class Graphene : public Mitigation
         std::uint32_t spillover = 0;
     };
 
-    void refreshNeighbors(unsigned bank, RowId row);
+    void refreshNeighbors(unsigned bank, RowId row, Cycle now);
 
     MitigationSettings cfg;
     std::uint32_t thT;          ///< Misra-Gries threshold T

@@ -16,7 +16,7 @@ MrLoc::MrLoc(const MitigationSettings &settings)
 }
 
 void
-MrLoc::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
+MrLoc::onActivate(unsigned bank, RowId row, ThreadId, Cycle now)
 {
     for (int dir : {-1, 1}) {
         std::int64_t victim = static_cast<std::int64_t>(row) + dir;
@@ -43,6 +43,12 @@ MrLoc::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
             controller->scheduleVictimRefresh(bank,
                                               static_cast<RowId>(victim));
             ++numRefreshes;
+            if (TraceSink::on()) {
+                TraceSink::instant(
+                    "mitig", "mrloc_refresh", tmeta, now,
+                    {{"bank", static_cast<std::int64_t>(bank)},
+                     {"victim", victim}});
+            }
         }
         lastSeen[k] = seqNo++;
 

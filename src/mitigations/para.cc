@@ -23,7 +23,7 @@ Para::solveProbability(std::uint32_t effective_nrh, double failure_target)
 }
 
 void
-Para::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
+Para::onActivate(unsigned bank, RowId row, ThreadId, Cycle now)
 {
     if (!rng.chance(p))
         return;
@@ -37,6 +37,11 @@ Para::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
         return;
     controller->scheduleVictimRefresh(bank, static_cast<RowId>(victim));
     ++numRefreshes;
+    if (TraceSink::on()) {
+        TraceSink::instant("mitig", "para_refresh", tmeta, now,
+                           {{"bank", static_cast<std::int64_t>(bank)},
+                            {"victim", victim}});
+    }
 }
 
 } // namespace bh

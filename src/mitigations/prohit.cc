@@ -55,7 +55,7 @@ Prohit::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
 }
 
 void
-Prohit::onAutoRefresh(RowId, unsigned, Cycle)
+Prohit::onAutoRefresh(RowId, unsigned, Cycle now)
 {
     // Piggyback on each periodic refresh: serve the hottest entry of every
     // bank by refreshing its neighbors.
@@ -65,6 +65,12 @@ Prohit::onAutoRefresh(RowId, unsigned, Cycle)
             continue;
         RowId aggressor = table.hot.front();
         table.hot.erase(table.hot.begin());
+        if (TraceSink::on()) {
+            TraceSink::instant(
+                "mitig", "prohit_refresh", tmeta, now,
+                {{"bank", static_cast<std::int64_t>(b)},
+                 {"row", static_cast<std::int64_t>(aggressor)}});
+        }
         for (unsigned k = 1; k <= cfg.blastRadius; ++k) {
             for (int dir : {-1, 1}) {
                 std::int64_t victim = static_cast<std::int64_t>(aggressor) +

@@ -22,12 +22,18 @@ Twice::Twice(const MitigationSettings &settings)
 }
 
 void
-Twice::onActivate(unsigned bank, RowId row, ThreadId, Cycle)
+Twice::onActivate(unsigned bank, RowId row, ThreadId, Cycle now)
 {
     auto &table = tables[bank];
     Entry &e = table[row];
     ++e.count;
     if (e.count >= thRH) {
+        if (TraceSink::on()) {
+            TraceSink::instant("mitig", "twice_refresh", tmeta, now,
+                               {{"bank", static_cast<std::int64_t>(bank)},
+                                {"row",
+                                 static_cast<std::int64_t>(row)}});
+        }
         for (unsigned k = 1; k <= cfg.blastRadius; ++k) {
             for (int dir : {-1, 1}) {
                 std::int64_t victim = static_cast<std::int64_t>(row) +

@@ -1,0 +1,95 @@
+#include "report/perf.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+namespace
+{
+
+double
+numField(const Json &obj, const char *key, double fallback = 0.0)
+{
+    const Json *v = obj.find(key);
+    return v ? v->asDouble() : fallback;
+}
+
+} // namespace
+
+PerfGateResult
+perfGate(const Json &golden, const Json &measured, double minRatioOverride)
+{
+    PerfGateResult res;
+    res.pass = true;
+
+    const Json *entries = golden.find("entries");
+    if (!entries || entries->type() != Json::Type::Array ||
+        entries->size() == 0) {
+        res.pass = false;
+        res.lines.push_back("golden has no \"entries\" array");
+        return res;
+    }
+    const Json *experiments = measured.find("experiments");
+    if (!experiments || experiments->type() != Json::Type::Object) {
+        res.pass = false;
+        res.lines.push_back("measurement has no \"experiments\" object");
+        return res;
+    }
+    double measured_scale = numField(measured, "scale", -1.0);
+
+    std::size_t applied = 0;
+    for (std::size_t i = 0; i < entries->size(); ++i) {
+        const Json &e = entries->at(i);
+        const Json *name = e.find("experiment");
+        if (!name) {
+            res.pass = false;
+            res.lines.push_back(strfmt("entry %zu: no \"experiment\"", i));
+            continue;
+        }
+        double want_scale = numField(e, "scale", 1.0);
+        if (std::fabs(want_scale - measured_scale) > 1e-9) {
+            res.lines.push_back(strfmt(
+                "%s: skipped (golden scale %s, measured %s)",
+                name->asString().c_str(),
+                Json::formatDouble(want_scale).c_str(),
+                Json::formatDouble(measured_scale).c_str()));
+            continue;
+        }
+        ++applied;
+
+        const Json *m = experiments->find(name->asString());
+        if (!m) {
+            res.pass = false;
+            res.lines.push_back(strfmt("%s: FAIL (not in measurement)",
+                                       name->asString().c_str()));
+            continue;
+        }
+        double wall_s = numField(*m, "wall_s");
+        double sim_cycles = numField(*m, "sim_cycles");
+        double cps = wall_s > 0.0 ? sim_cycles / wall_s : 0.0;
+        double ref_cps = numField(e, "ref_cps");
+        double min_ratio = minRatioOverride > 0.0
+            ? minRatioOverride : numField(e, "min_ratio", 0.2);
+        double floor = ref_cps * min_ratio;
+        bool ok = cps >= floor;
+        if (!ok)
+            res.pass = false;
+        res.lines.push_back(strfmt(
+            "%s: %s (%.3g sim cycles/s, floor %.3g = ref %.3g x %.2g)",
+            name->asString().c_str(), ok ? "ok" : "FAIL",
+            cps, floor, ref_cps, min_ratio));
+    }
+    if (applied == 0) {
+        // Every entry skipped: refuse to pass vacuously.
+        res.pass = false;
+        res.lines.push_back(strfmt(
+            "no golden entry applies at measured scale %s",
+            Json::formatDouble(measured_scale).c_str()));
+    }
+    return res;
+}
+
+} // namespace bh

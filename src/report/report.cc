@@ -24,6 +24,20 @@ fnv1a64(const std::string &data, std::uint64_t seed)
 }
 
 std::string
+cellDigest(const Json &payload)
+{
+    if (payload.type() == Json::Type::Object &&
+        payload.find("stats")) {
+        Json stripped = Json::object();
+        for (const auto &kv : payload.objectItems())
+            if (kv.first != "stats")
+                stripped[kv.first] = kv.second;
+        return hex64(fnv1a64(stripped.dump()));
+    }
+    return hex64(fnv1a64(payload.dump()));
+}
+
+std::string
 hex64(std::uint64_t value)
 {
     return strfmt("%016llx", static_cast<unsigned long long>(value));
@@ -254,7 +268,7 @@ validateCells(const LoadedReport &in, std::string &err)
                          static_cast<unsigned long long>(g));
             return false;
         }
-        std::string got = hex64(fnv1a64(kv.second.dump()));
+        std::string got = cellDigest(kv.second);
         if (want->asString() != got) {
             err = strfmt("%s: conflict: cell %llu (phase \"%s\") does not "
                          "match its manifest digest (%s recorded, payload "
@@ -460,11 +474,41 @@ struct DiffWalker
         return false;
     }
 
+    /**
+     * True when `path` matches any ignore pattern. Patterns are dotted
+     * paths; a "*" segment matches exactly one path segment, so
+     * "cells.*.stats" skips the stats subtree of every cell.
+     */
     bool
     ignored(const std::string &path) const
     {
-        return std::find(opts.ignorePaths.begin(), opts.ignorePaths.end(),
-                         path) != opts.ignorePaths.end();
+        auto split = [](const std::string &s) {
+            std::vector<std::string> segs;
+            std::size_t start = 0;
+            while (true) {
+                std::size_t dot = s.find('.', start);
+                segs.push_back(s.substr(start, dot - start));
+                if (dot == std::string::npos)
+                    break;
+                start = dot + 1;
+            }
+            return segs;
+        };
+        std::vector<std::string> p = split(path);
+        for (const auto &pattern : opts.ignorePaths) {
+            std::vector<std::string> q = split(pattern);
+            if (q.size() != p.size())
+                continue;
+            bool match = true;
+            for (std::size_t i = 0; i < q.size(); ++i)
+                if (q[i] != "*" && q[i] != p[i]) {
+                    match = false;
+                    break;
+                }
+            if (match)
+                return true;
+        }
+        return false;
     }
 
     static std::string

@@ -38,6 +38,15 @@ std::uint64_t fnv1a64(const std::string &data,
 /** Fixed-width lowercase hex encoding of a 64-bit hash. */
 std::string hex64(std::uint64_t value);
 
+/**
+ * Digest of one sweep-cell payload, as recorded in (and validated
+ * against) the run manifest. Hashes the payload's serialized bytes
+ * minus its top-level "stats" key: stats snapshots are deterministic
+ * observability data, excluded so payloads with and without them (and
+ * goldens predating the `stats` export) digest identically.
+ */
+std::string cellDigest(const Json &payload);
+
 /** Parsed run manifest of one BENCH_*.json. */
 struct RunManifest
 {
@@ -169,7 +178,8 @@ struct DiffOptions
 {
     double absTol = 0.0;        ///< absolute tolerance for numeric fields
     double relTol = 0.0;        ///< relative tolerance for numeric fields
-    std::vector<std::string> ignorePaths;   ///< subtrees to skip (dotted)
+    /** Subtrees to skip, dotted; a "*" segment matches one segment. */
+    std::vector<std::string> ignorePaths;
     std::size_t maxDiffs = 1000;            ///< stop reporting after this
 };
 

@@ -163,6 +163,17 @@ runExperiment(const ExperimentConfig &config, const MixSpec &mix)
         res.rowHits += mc.rowHits();
         res.rowMisses += mc.rowMisses();
         res.rowConflicts += mc.rowConflicts();
+
+        // Per-lane StatSet snapshot. Everything in it is event-driven
+        // or skip-replayed, so the export is identical for any
+        // jobs/channel-threads/skip setting.
+        mc.syncStats();
+        mc.mitigation().syncStats();
+        Json lane = mc.stats.toJson();
+        Json mitig = mc.mitigation().stats.toJson();
+        if (mitig.objectItems().size() > 0)
+            lane["mitigation"] = mitig;
+        res.stats["ch" + std::to_string(ch)] = lane;
     }
     return res;
 }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "mitigations/factory.hh"
 #include "sim/metrics.hh"
 #include "sim/system.hh"
@@ -109,6 +110,15 @@ struct RunResult
 
     /** True when the activation-bounding guarantee held end to end. */
     bool secSafe() const { return secMargin < 1.0; }
+
+    /**
+     * Per-lane StatSet snapshots: {"ch0": {mc..., mitig...}, ...}.
+     * Deterministic (event-driven samples and skip-replayed counters
+     * only), so cell payloads carrying it stay byte-identical across
+     * jobs/threads/skip settings — but it is excluded from cell digests
+     * (see report.hh cellDigest) to keep old goldens valid.
+     */
+    Json stats = Json::object();
 
     /** IPCs of benign threads only. */
     std::vector<double> benignIpc() const;

@@ -1,14 +1,19 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/log.hh"
+#include "common/trace_sink.hh"
 
 namespace bh
 {
 
 namespace
 {
+
+thread_local std::uint64_t tlsSimCycles = 0;
+std::atomic<std::uint64_t> allSimCycles{0};
 
 std::vector<std::unique_ptr<Mitigation>>
 buildPerChannel(const SystemConfig &cfg, const MitigationFactory &factory)
@@ -20,6 +25,24 @@ buildPerChannel(const SystemConfig &cfg, const MitigationFactory &factory)
 }
 
 } // namespace
+
+std::uint64_t
+simCyclesThisThread()
+{
+    return tlsSimCycles;
+}
+
+void
+resetSimCyclesThisThread()
+{
+    tlsSimCycles = 0;
+}
+
+std::uint64_t
+simCyclesTotal()
+{
+    return allSimCycles.load(std::memory_order_relaxed);
+}
 
 System::System(const SystemConfig &config, const MitigationFactory &factory)
     : cfg(config)
@@ -37,6 +60,18 @@ System::System(const SystemConfig &config, const MitigationFactory &factory)
         llcPtr = std::make_unique<Llc>(cfg.llc, *memSys);
     traces.resize(cfg.threads);
     cores.resize(cfg.threads);
+    // Trace identity: one pid per simulated system, one tid per channel
+    // lane, tid == channel count for driver-level spans. Assignment is
+    // observation-only — simulation state never depends on it.
+    if (TraceSink::on()) {
+        std::uint32_t pid = TraceSink::newPid();
+        for (unsigned ch = 0; ch < memSys->channels(); ++ch) {
+            TraceMeta meta{pid, ch};
+            memSys->controller(ch).setTraceMeta(meta);
+            memSys->controller(ch).mitigation().setTraceMeta(meta);
+        }
+        driverMeta = TraceMeta{pid, memSys->channels()};
+    }
 }
 
 System::System(const SystemConfig &config,
@@ -140,6 +175,7 @@ System::chunkTargetAt(Cycle end) const
 void
 System::runLaneChunk(Cycle target)
 {
+    Cycle chunkStart = currentCycle;
     Cycle divider = std::max<Cycle>(1, cfg.mcClockDivider);
     Cycle first_mc = ((currentCycle + divider - 1) / divider) * divider;
     unsigned channels = memSys->channels();
@@ -188,6 +224,11 @@ System::runLaneChunk(Cycle target)
         core->noteSkippedCycles(k_cpu);
     numChunked += k_cpu;
     currentCycle = target;
+    if (TraceSink::on()) {
+        TraceSink::complete(
+            "lane", "chunk", driverMeta, chunkStart, target - chunkStart,
+            {{"channels", static_cast<std::int64_t>(channels)}});
+    }
 }
 
 void
@@ -196,6 +237,12 @@ System::run(Cycle cycles)
     for (unsigned t = 0; t < cfg.threads; ++t)
         if (!cores[t])
             fatal("core slot %u has no trace installed", t);
+
+    // Perf telemetry: all of [currentCycle, end) is simulated time, no
+    // matter how it is covered (executed, chunked, or skipped).
+    tlsSimCycles += static_cast<std::uint64_t>(cycles);
+    allSimCycles.fetch_add(static_cast<std::uint64_t>(cycles),
+                           std::memory_order_relaxed);
 
     Cycle end = currentCycle + cycles;
     Cycle divider = std::max<Cycle>(1, cfg.mcClockDivider);
@@ -272,6 +319,12 @@ System::run(Cycle cycles)
         if (k_mc > 0)
             memSys->noteSkippedTicks(k_mc);
         numSkipped += k_cpu;
+        if (TraceSink::on()) {
+            TraceSink::complete(
+                "skip", "jump", driverMeta, currentCycle,
+                target - currentCycle,
+                {{"mc_ticks", static_cast<std::int64_t>(k_mc)}});
+        }
         currentCycle = target;
     }
 }

@@ -37,6 +37,18 @@
 namespace bh
 {
 
+/**
+ * Simulated cycles executed by System::run on the calling thread since
+ * its last reset — skipped and chunked cycles included, since they are
+ * simulated time. Bench workers reset, run a cell, then read this to
+ * compute per-cell cycles/sec (BENCH_perf.json).
+ */
+std::uint64_t simCyclesThisThread();
+void resetSimCyclesThisThread();
+
+/** Simulated cycles executed process-wide (all threads, all systems). */
+std::uint64_t simCyclesTotal();
+
 /** How System::run advances simulated time. */
 enum class SkipMode
 {
@@ -155,6 +167,7 @@ class System
     std::uint64_t numSkipped = 0;
     std::uint64_t numChunked = 0;
     Cycle verifiedQuietUntil = 0;   ///< kVerify: active skip claim bound
+    TraceMeta driverMeta;           ///< tid = channel count (driver row)
 };
 
 } // namespace bh

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for src/common/stats: counter/scalar/histogram round-trips,
+ * percentile edge cases (p <= 0, p >= 100, single sample), deterministic
+ * seeded reservoir sampling, stable dump()/toJson() serialization, and
+ * findHist constness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace bh
+{
+namespace
+{
+
+TEST(Histogram, EmptyReturnsZeroEverywhere)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_EQ(h.percentile(50), 0);
+    EXPECT_EQ(h.percentile(0), 0);
+    EXPECT_EQ(h.percentile(100), 0);
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile)
+{
+    Histogram h;
+    h.add(42);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.mean(), 42.0);
+    for (double p : {-10.0, 0.0, 1.0, 50.0, 99.9, 100.0, 200.0})
+        EXPECT_EQ(h.percentile(p), 42) << "p=" << p;
+}
+
+TEST(Histogram, PercentileEdgesAreTrueMinAndMax)
+{
+    Histogram h;
+    for (int v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.percentile(0), 1);
+    // Negative p must clamp to the minimum, not wrap through an
+    // unsigned index (regression: it used to return the maximum).
+    EXPECT_EQ(h.percentile(-5), 1);
+    EXPECT_EQ(h.percentile(100), 100);
+    EXPECT_EQ(h.percentile(1000), 100);
+    // Interior percentiles are exact over the samples; the index
+    // convention may land on either neighbor of the midpoint.
+    EXPECT_GE(h.percentile(50), 50);
+    EXPECT_LE(h.percentile(50), 51);
+    EXPECT_EQ(h.min(), 1);
+    EXPECT_EQ(h.max(), 100);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, ReservoirTracksExactMinMaxMeanBeyondCapacity)
+{
+    Histogram h(16, 7);
+    for (int v = 0; v < 10000; ++v)
+        h.add(v);
+    // min/max/mean/count are exact even though only 16 samples are
+    // retained; p <= 0 / p >= 100 report the true extremes even when
+    // the reservoir dropped them.
+    EXPECT_EQ(h.count(), 10000u);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 9999);
+    EXPECT_DOUBLE_EQ(h.mean(), 4999.5);
+    EXPECT_EQ(h.percentile(0), 0);
+    EXPECT_EQ(h.percentile(100), 9999);
+    // Interior percentiles are approximate but must come from retained
+    // samples.
+    std::int64_t p50 = h.percentile(50);
+    EXPECT_GE(p50, 0);
+    EXPECT_LE(p50, 9999);
+}
+
+TEST(Histogram, ReservoirIsDeterministicForEqualSeeds)
+{
+    Histogram a(32, 123), b(32, 123), c(32, 456);
+    for (int v = 0; v < 5000; ++v) {
+        a.add(v * 3);
+        b.add(v * 3);
+        c.add(v * 3);
+    }
+    // Same seed, same sample stream => identical retained subset, so
+    // every percentile agrees bit-for-bit.
+    bool differs_somewhere = false;
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+        EXPECT_EQ(a.percentile(p), b.percentile(p)) << "p=" << p;
+        if (a.percentile(p) != c.percentile(p))
+            differs_somewhere = true;
+    }
+    // A different seed retains a different subset (overwhelmingly
+    // likely across 7 percentiles of 5000 dropped-sample candidates).
+    EXPECT_TRUE(differs_somewhere);
+}
+
+TEST(Histogram, ReservoirRetainsSpreadNotJustOneSlot)
+{
+    // Regression: the old deterministic slot function always computed
+    // slot 0, so the reservoir degenerated to samples[0] churn and
+    // percentiles collapsed to the first retained values.
+    Histogram h(64, 9);
+    for (int v = 0; v < 100000; ++v)
+        h.add(v);
+    // With uniform replacement the median of retained samples must land
+    // well inside the distribution, not at its very start.
+    EXPECT_GT(h.percentile(50), 1000);
+    EXPECT_LT(h.percentile(50), 99000);
+}
+
+TEST(Histogram, ClearResetsEverything)
+{
+    Histogram h(8, 1);
+    for (int v = 0; v < 100; ++v)
+        h.add(v);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_EQ(h.percentile(50), 0);
+    h.add(5);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.percentile(50), 5);
+}
+
+TEST(Histogram, SummaryJsonHasFixedKeyOrder)
+{
+    Histogram h;
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    Json j = h.summaryJson();
+    std::vector<std::string> keys;
+    for (const auto &kv : j.objectItems())
+        keys.push_back(kv.first);
+    std::vector<std::string> want = {"count", "mean", "min", "p50",
+                                     "p90",   "p99",  "max"};
+    EXPECT_EQ(keys, want);
+    EXPECT_EQ(j["count"].asInt(), 3);
+    EXPECT_EQ(j["min"].asInt(), 1);
+    EXPECT_EQ(j["max"].asInt(), 3);
+}
+
+TEST(StatSet, CounterScalarHistRoundTrip)
+{
+    StatSet s;
+    EXPECT_EQ(s.counter("untouched"), 0u);
+    EXPECT_EQ(s.scalar("untouched"), 0.0);
+    s.inc("a.count");
+    s.inc("a.count", 9);
+    s.set("b.gauge", 2.5);
+    s.set("b.gauge", 3.5);   // overwrite, not accumulate
+    s.sample("c.hist", 7);
+    s.sample("c.hist", 9);
+    EXPECT_EQ(s.counter("a.count"), 10u);
+    EXPECT_EQ(s.scalar("b.gauge"), 3.5);
+    EXPECT_EQ(s.hist("c.hist").count(), 2u);
+    EXPECT_EQ(s.hist("c.hist").max(), 9);
+}
+
+TEST(StatSet, FindHistIsConstAndDoesNotCreate)
+{
+    StatSet s;
+    s.sample("present", 1);
+    const StatSet &cs = s;
+    const Histogram *found = cs.findHist("present");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->count(), 1u);
+    // Lookup of a missing name must not materialize an entry.
+    EXPECT_EQ(cs.findHist("absent"), nullptr);
+    EXPECT_EQ(cs.findHist("absent"), nullptr);
+}
+
+TEST(StatSet, BoundedHistOverloadKeepsFirstBounds)
+{
+    StatSet s;
+    Histogram &h = s.hist("r", 4, 99);
+    for (int v = 0; v < 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.count(), 100u);
+    // Re-requesting with different bounds returns the existing
+    // histogram unchanged.
+    Histogram &again = s.hist("r", 1000, 5);
+    EXPECT_EQ(&again, &h);
+    EXPECT_EQ(again.count(), 100u);
+}
+
+TEST(StatSet, ClearEmptiesAllSections)
+{
+    StatSet s;
+    s.inc("c");
+    s.set("g", 1.0);
+    s.sample("h", 1);
+    s.clear();
+    EXPECT_EQ(s.counter("c"), 0u);
+    EXPECT_EQ(s.scalar("g"), 0.0);
+    EXPECT_EQ(s.findHist("h"), nullptr);
+    EXPECT_EQ(s.counters().size(), 0u);
+    EXPECT_EQ(s.scalars().size(), 0u);
+}
+
+TEST(StatSet, DumpIsStableAndOrdered)
+{
+    StatSet a, b;
+    // Insert in different orders; dump() must serialize identically.
+    a.inc("z.second", 2);
+    a.inc("a.first", 1);
+    a.set("m.gauge", 0.5);
+    a.sample("h.lat", 10);
+    b.sample("h.lat", 10);
+    b.set("m.gauge", 0.5);
+    b.inc("a.first", 1);
+    b.inc("z.second", 2);
+    EXPECT_EQ(a.dump(), b.dump());
+    // Counters come first and in lexicographic order.
+    std::string d = a.dump();
+    EXPECT_LT(d.find("a.first"), d.find("z.second"));
+    EXPECT_LT(d.find("z.second"), d.find("m.gauge"));
+    EXPECT_LT(d.find("m.gauge"), d.find("h.lat"));
+}
+
+TEST(StatSet, ToJsonRoundTripsThroughDumpAndParse)
+{
+    StatSet s;
+    s.inc("acts", 3);
+    s.set("rate", 0.25);
+    s.sample("lat", 5);
+    s.sample("lat", 15);
+    Json j = s.toJson();
+    EXPECT_EQ(j["counters"]["acts"].asInt(), 3);
+    EXPECT_EQ(j["scalars"]["rate"].asDouble(), 0.25);
+    EXPECT_EQ(j["hists"]["lat"]["count"].asInt(), 2);
+    // Serialized bytes parse back to an equal document (the cell
+    // payload round trip every stats snapshot takes).
+    Json back;
+    ASSERT_TRUE(Json::parse(j.dump(2), back));
+    EXPECT_EQ(back.dump(2), j.dump(2));
+    // Empty sections are omitted entirely.
+    StatSet counters_only;
+    counters_only.inc("n");
+    Json co = counters_only.toJson();
+    EXPECT_NE(co.find("counters"), nullptr);
+    EXPECT_EQ(co.find("scalars"), nullptr);
+    EXPECT_EQ(co.find("hists"), nullptr);
+}
+
+TEST(StatSet, EqualSetsSerializeToIdenticalBytes)
+{
+    StatSet a, b;
+    for (int v = 0; v < 300; ++v) {
+        a.hist("r", 16).add(v);
+        b.hist("r", 16).add(v);
+    }
+    a.inc("k", 7);
+    b.inc("k", 7);
+    EXPECT_EQ(a.toJson().dump(), b.toJson().dump());
+    EXPECT_EQ(a.dump(), b.dump());
+}
+
+} // namespace
+} // namespace bh
