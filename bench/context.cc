@@ -68,8 +68,10 @@ BenchContext::runCells(const std::string &label, std::size_t n,
             // plus the simulated cycles the worker thread covers inside
             // it (System::run accumulates a thread-local counter).
             resetSimCyclesThisThread();
+            // bh-lint: allow(nondet) wall-clock self-profile sidecar; never feeds simulation state
             auto t0 = std::chrono::steady_clock::now();
             out[owned[k]] = fn(owned[k]);
+            // bh-lint: allow(nondet) wall-clock self-profile sidecar; never feeds simulation state
             auto t1 = std::chrono::steady_clock::now();
             CellPerf perf;
             perf.wallS = std::chrono::duration<double>(t1 - t0).count();

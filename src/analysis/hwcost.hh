@@ -91,9 +91,9 @@ class HwCostModel
 
   private:
     TechParams tech;
-    unsigned banks;
-    unsigned threads;
-    unsigned channels;
+    unsigned banks = 0;
+    unsigned threads = 0;
+    unsigned channels = 0;
 };
 
 } // namespace bh

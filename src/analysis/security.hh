@@ -35,7 +35,7 @@ struct EpochBound
     EpochType type;
     std::string descrPrev;      ///< N_{ep-1} range
     std::string descrCur;       ///< N_ep range
-    std::int64_t nepMax;        ///< maximum N_ep
+    std::int64_t nepMax = 0;    ///< maximum N_ep
 };
 
 /** Result of the attack-feasibility search. */
@@ -77,8 +77,8 @@ class SecurityAnalyzer
 
   private:
     BlockHammerConfig cfg;
-    Cycle tEp;
-    Cycle tDelay;
+    Cycle tEp = 0;
+    Cycle tDelay = 0;
 };
 
 const char *epochTypeName(EpochType type);

@@ -123,11 +123,12 @@ class SecurityOracle
         return static_cast<std::size_t>(bank) * rows + row;
     }
 
+    // bh-lint: allow(observer-const) private helper mutating the oracle's own window state, not an observer hook
     void prune(RowState &state, Cycle now);
 
     SecurityOracleConfig cfg;
-    unsigned rows;
-    unsigned banks;
+    unsigned rows = 0;
+    unsigned banks = 0;
     /** Sparse per-row sliding windows, keyed by flat (bank, row). */
     std::unordered_map<std::size_t, RowState> touched;
     /** Dense between-own-refresh counters (reset on refresh). */

@@ -56,8 +56,8 @@ class AttackThrottler
     }
 
     BlockHammerConfig cfg;
-    double denom;
-    std::uint32_t counterMax;
+    double denom = 1.0;
+    std::uint32_t counterMax = 0;
     unsigned active = 0;
     std::vector<std::uint32_t> counters[2];     ///< per <thread, bank>
 };

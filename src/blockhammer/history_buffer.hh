@@ -66,7 +66,7 @@ class HistoryBuffer
     };
 
     std::vector<Slot> slots;
-    Cycle tDelay;
+    Cycle tDelay = 0;
     unsigned head = 0;      ///< oldest entry
     unsigned tail = 0;      ///< next insertion point
     unsigned numValid = 0;

@@ -76,7 +76,7 @@ class RowBlocker
     };
 
     BlockHammerConfig cfg;
-    Cycle delay;
+    Cycle delay = 0;
     std::vector<std::unique_ptr<DualCbf>> filters;  ///< one per bank
     HistoryBuffer hb;                               ///< per rank
     Cycle nextBoundary = 0;     ///< shared epoch boundary of all filters

@@ -70,7 +70,7 @@ class DualCbf
     }
 
   private:
-    Cycle epochLen;
+    Cycle epochLen = 0;
     std::uint64_t epoch = 0;
     std::uint64_t inserts = 0;
     unsigned active = 0;

@@ -44,8 +44,8 @@ class H3Hash
 
   private:
     std::array<std::uint32_t, 64> matrix{};
-    std::uint32_t mask;
-    unsigned bitsOut;
+    std::uint32_t mask = 0;
+    unsigned bitsOut = 0;
 };
 
 } // namespace bh

@@ -111,7 +111,7 @@ class Llc
 
     LlcConfig cfg;
     MemSystem &mem;
-    std::size_t numSets;
+    std::size_t numSets = 0;
     std::vector<Line> lines;            ///< numSets * ways
     std::uint64_t useCounter = 0;
     std::unordered_map<Addr, MshrEntry> mshr;

@@ -71,7 +71,7 @@ class Rng
     }
 
   private:
-    std::uint64_t state;
+    std::uint64_t state = 0;
 };
 
 } // namespace bh

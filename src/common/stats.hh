@@ -67,7 +67,7 @@ class Histogram
     Json summaryJson() const;
 
   private:
-    std::size_t maxSamples;
+    std::size_t maxSamples = 0;
     Rng rng;
     std::uint64_t total = 0;
     double sum = 0.0;

@@ -119,7 +119,7 @@ class Core
     /** An in-flight memory instruction, ordered by window position. */
     struct MemOp
     {
-        std::uint64_t pos;              ///< instruction index in the window
+        std::uint64_t pos = 0;          ///< instruction index in the window
         std::shared_ptr<MemSlot> slot;
     };
 
@@ -150,7 +150,7 @@ class Core
     bool issueMemOp(Cycle now);
 
     CoreConfig cfg;
-    ThreadId thread;
+    ThreadId thread = 0;
     TraceSource &trace;
     Llc *llc;
     MemSystem &mem;

@@ -67,9 +67,9 @@ class AddressMapper
     struct Field
     {
         enum Kind { kChannel, kRank, kBankGroup, kBank, kRow, kCol } kind;
-        unsigned lo;        ///< low bit position in the line address
-        unsigned width;
-        unsigned subLo;     ///< low bit position within the coordinate value
+        unsigned lo = 0;    ///< low bit position in the line address
+        unsigned width = 0;
+        unsigned subLo = 0; ///< low bit position within the coordinate value
     };
 
     void addField(Field::Kind kind, unsigned width, unsigned sub_lo);

@@ -70,8 +70,8 @@ class DramDevice
     /** Issue all-bank refresh; returns the set of row ranges refreshed. */
     struct RefreshedRange
     {
-        RowId firstRow;
-        unsigned numRows;
+        RowId firstRow = 0;
+        unsigned numRows = 0;
     };
     RefreshedRange issueRefresh(Cycle now);
 

@@ -79,9 +79,9 @@ class DramEnergyModel
     Cycle lastTransition = 0;
 
     // Precomputed per-event energies (J).
-    double perAct, perRead, perWrite, perRef;
+    double perAct = 0.0, perRead = 0.0, perWrite = 0.0, perRef = 0.0;
     // Background powers (W).
-    double pActStandby, pPreStandby;
+    double pActStandby = 0.0, pPreStandby = 0.0;
 };
 
 } // namespace bh

@@ -28,9 +28,9 @@ namespace bh
 /** A detected RowHammer bit-flip event. */
 struct BitFlipEvent
 {
-    unsigned bank;
-    RowId victimRow;
-    Cycle cycle;
+    unsigned bank = 0;
+    RowId victimRow = 0;
+    Cycle cycle = 0;
 };
 
 /** Configuration of the failure model. */
@@ -89,8 +89,8 @@ class HammerObserver
 
     DramOrg org;
     HammerConfig cfg;
-    unsigned rows;
-    unsigned banks;
+    unsigned rows = 0;
+    unsigned banks = 0;
     std::vector<double> disturbance;    ///< per (bank,row)
     std::vector<std::uint32_t> actCount;///< acts since own refresh
     std::vector<bool> flipped;          ///< flip already reported

@@ -40,8 +40,9 @@ struct DramTimingNs
 /** Timing parameters converted to integer CPU cycles (rounded up). */
 struct DramTimings
 {
-    Cycle tRCD, tCL, tCWL, tRP, tRAS, tRC, tBL, tCCD, tRRD, tFAW;
-    Cycle tWR, tWTR, tRTP, tREFI, tRFC, tREFW;
+    Cycle tRCD = 0, tCL = 0, tCWL = 0, tRP = 0, tRAS = 0, tRC = 0,
+          tBL = 0, tCCD = 0, tRRD = 0, tFAW = 0;
+    Cycle tWR = 0, tWTR = 0, tRTP = 0, tREFI = 0, tRFC = 0, tREFW = 0;
 
     /** Construct from datasheet nanosecond values. */
     static DramTimings fromNs(const DramTimingNs &ns);

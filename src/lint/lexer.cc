@@ -1,0 +1,256 @@
+#include "lint/lexer.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace bh::lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators the rules care about, longest first. */
+const char *const kPuncts[] = {
+    "->*", "...", "::", "->", "<<=", ">>=", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", "++", "--",
+};
+
+} // namespace
+
+LexedFile
+lex(const std::string &path, const std::string &content)
+{
+    LexedFile out;
+    out.path = path;
+
+    {
+        std::string cur;
+        for (char c : content) {
+            if (c == '\n') {
+                out.lines.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        if (!cur.empty())
+            out.lines.push_back(cur);
+    }
+
+    const std::size_t n = content.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool lineHasCode = false;
+
+    auto advance = [&](std::size_t count) {
+        for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+            if (content[i] == '\n') {
+                ++line;
+                lineHasCode = false;
+            }
+        }
+    };
+
+    while (i < n) {
+        char c = content[i];
+
+        if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f'
+            || c == '\v') {
+            advance(1);
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+            Comment cm;
+            cm.line = line;
+            cm.ownLine = !lineHasCode;
+            std::size_t j = i + 2;
+            while (j < n && content[j] != '\n')
+                ++j;
+            cm.text = content.substr(i + 2, j - (i + 2));
+            out.comments.push_back(cm);
+            advance(j - i);
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+            Comment cm;
+            cm.line = line;
+            cm.ownLine = !lineHasCode;
+            std::size_t j = i + 2;
+            while (j + 1 < n && !(content[j] == '*' && content[j + 1] == '/'))
+                ++j;
+            cm.text = content.substr(i + 2, j - (i + 2));
+            out.comments.push_back(cm);
+            advance(std::min(n, j + 2) - i);
+            continue;
+        }
+
+        // Preprocessor line: capture as one token, joining continuations.
+        if (c == '#' && !lineHasCode) {
+            Token t;
+            t.kind = Token::Kind::kPreproc;
+            t.line = line;
+            std::size_t j = i;
+            std::string text;
+            while (j < n) {
+                if (content[j] == '\\' && j + 1 < n
+                    && content[j + 1] == '\n') {
+                    text += ' ';
+                    j += 2;
+                    continue;
+                }
+                if (content[j] == '\n')
+                    break;
+                text += content[j];
+                ++j;
+            }
+            t.text = text;
+            out.tokens.push_back(t);
+            advance(j - i);
+            lineHasCode = true;
+            continue;
+        }
+
+        lineHasCode = true;
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && content[j] != '(')
+                delim += content[j++];
+            std::string closer = ")" + delim + "\"";
+            std::size_t end = content.find(closer, j);
+            if (end == std::string::npos)
+                end = n;
+            Token t;
+            t.kind = Token::Kind::kString;
+            t.line = line;
+            t.text = content.substr(j + 1, end - j - 1);
+            out.tokens.push_back(t);
+            advance(std::min(n, end + closer.size()) - i);
+            continue;
+        }
+
+        // String / char literal (possibly with a short prefix like u8).
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            Token t;
+            t.kind = quote == '"' ? Token::Kind::kString : Token::Kind::kChar;
+            t.line = line;
+            std::size_t j = i + 1;
+            std::string text;
+            while (j < n && content[j] != quote) {
+                if (content[j] == '\\' && j + 1 < n) {
+                    text += content[j];
+                    text += content[j + 1];
+                    j += 2;
+                    continue;
+                }
+                text += content[j];
+                ++j;
+            }
+            t.text = text;
+            out.tokens.push_back(t);
+            advance(std::min(n, j + 1) - i);
+            continue;
+        }
+
+        // Identifier / keyword.
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            while (j < n && isIdentChar(content[j]))
+                ++j;
+            std::string word = content.substr(i, j - i);
+            // A string prefix directly before a quote (L"...", u8"...").
+            if (j < n && (content[j] == '"' || content[j] == '\'')
+                && (word == "L" || word == "u" || word == "U"
+                    || word == "u8")) {
+                advance(j - i);
+                continue;
+            }
+            Token t;
+            t.kind = Token::Kind::kIdent;
+            t.line = line;
+            t.text = word;
+            out.tokens.push_back(t);
+            advance(j - i);
+            continue;
+        }
+
+        // Number (incl. hex, digit separators, suffixes, exponents).
+        if (std::isdigit(static_cast<unsigned char>(c))
+            || (c == '.' && i + 1 < n
+                && std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+            std::size_t j = i;
+            while (j < n
+                   && (isIdentChar(content[j]) || content[j] == '.'
+                       || content[j] == '\''
+                       || ((content[j] == '+' || content[j] == '-') && j > i
+                           && (content[j - 1] == 'e' || content[j - 1] == 'E'
+                               || content[j - 1] == 'p'
+                               || content[j - 1] == 'P'))))
+                ++j;
+            Token t;
+            t.kind = Token::Kind::kNumber;
+            t.line = line;
+            t.text = content.substr(i, j - i);
+            out.tokens.push_back(t);
+            advance(j - i);
+            continue;
+        }
+
+        // Punctuator: longest match from the table, else one char.
+        {
+            std::string match(1, c);
+            for (const char *p : kPuncts) {
+                std::size_t len = std::char_traits<char>::length(p);
+                if (i + len <= n && content.compare(i, len, p) == 0) {
+                    match.assign(p, len);
+                    break;
+                }
+            }
+            Token t;
+            t.kind = Token::Kind::kPunct;
+            t.line = line;
+            t.text = match;
+            out.tokens.push_back(t);
+            advance(match.size());
+        }
+    }
+
+    return out;
+}
+
+bool
+lexFile(const std::string &path, LexedFile &out, std::string &err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = lex(path, ss.str());
+    return true;
+}
+
+} // namespace bh::lint

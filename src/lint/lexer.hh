@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A focused C++ tokenizer for bh_lint (see lint.hh).
+ *
+ * This is not a conforming C++ lexer; it is exactly strong enough to
+ * support the repo-specific rules in rules.cc: identifiers, numbers,
+ * string/char literals (including raw strings), multi-character
+ * punctuators that matter for matching qualified names and template
+ * argument lists (`::`, `->`, `<<`, `>>`), whole preprocessor lines
+ * (with continuations) as single tokens, and comments captured
+ * separately so suppression annotations survive tokenization.
+ *
+ * No libclang: the linter must build everywhere the simulator builds,
+ * with zero dependencies beyond the standard library.
+ */
+
+#ifndef BH_LINT_LEXER_HH
+#define BH_LINT_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bh::lint
+{
+
+/** One lexical token with its 1-based source line. */
+struct Token
+{
+    enum class Kind
+    {
+        kIdent,     ///< identifier or keyword
+        kNumber,    ///< integer / floating literal
+        kString,    ///< string literal (text excludes quotes)
+        kChar,      ///< character literal
+        kPunct,     ///< operator / punctuator
+        kPreproc,   ///< one full preprocessor line (continuations joined)
+    };
+
+    Kind kind = Kind::kPunct;
+    std::string text;
+    int line = 0;
+};
+
+/** A comment with its 1-based line and whether code precedes it. */
+struct Comment
+{
+    std::string text;           ///< body without the // or slash-star
+    int line = 0;               ///< line the comment starts on
+    bool ownLine = false;       ///< nothing but whitespace before it
+};
+
+/** Tokenized translation unit. */
+struct LexedFile
+{
+    std::string path;                   ///< as given to lex()
+    std::vector<std::string> lines;     ///< raw source, split at newlines
+    std::vector<Token> tokens;          ///< comment-free token stream
+    std::vector<Comment> comments;      ///< comments, in source order
+};
+
+/** Tokenize `content`; `path` is carried through for diagnostics. */
+LexedFile lex(const std::string &path, const std::string &content);
+
+/** Read a file and lex it. Returns false when the file cannot be read. */
+bool lexFile(const std::string &path, LexedFile &out, std::string &err);
+
+} // namespace bh::lint
+
+#endif // BH_LINT_LEXER_HH

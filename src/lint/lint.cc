@@ -1,0 +1,371 @@
+#include "lint/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <sstream>
+
+#include "lint/rules.hh"
+
+namespace bh::lint
+{
+
+namespace
+{
+
+/** Trim ASCII whitespace from both ends. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Squeeze runs of whitespace to single spaces (baseline-hash input). */
+std::string
+normalizeLine(const std::string &s)
+{
+    std::string out;
+    bool space = false;
+    for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            space = !out.empty();
+            continue;
+        }
+        if (space) {
+            out += ' ';
+            space = false;
+        }
+        out += c;
+    }
+    return out;
+}
+
+std::uint64_t
+fnv1a64(const std::string &s, std::uint64_t h = 0xcbf29ce484222325ull)
+{
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** A parsed `bh-lint: allow(...)` annotation. */
+struct Allow
+{
+    int line = 0;               ///< line the annotation is on
+    bool ownLine = false;       ///< annotation is the whole line
+    std::vector<std::string> rules;
+    bool hasReason = false;
+    bool malformed = false;
+    std::string error;
+};
+
+/**
+ * Parse one comment for a suppression annotation. Grammar:
+ *   bh-lint: allow(<rule>[, <rule>...]) <reason>
+ * Returns false when the comment contains no bh-lint marker at all.
+ */
+bool
+parseAllow(const Comment &comment, Allow &out)
+{
+    const std::string marker = "bh-lint:";
+    auto pos = comment.text.find(marker);
+    if (pos == std::string::npos)
+        return false;
+    out.line = comment.line;
+    out.ownLine = comment.ownLine;
+
+    std::string rest = trim(comment.text.substr(pos + marker.size()));
+    const std::string verb = "allow";
+    if (rest.compare(0, verb.size(), verb) != 0) {
+        out.malformed = true;
+        out.error = "unknown bh-lint directive (expected allow(...))";
+        return true;
+    }
+    rest = trim(rest.substr(verb.size()));
+    if (rest.empty() || rest[0] != '(') {
+        out.malformed = true;
+        out.error = "allow requires a parenthesized rule list";
+        return true;
+    }
+    auto close = rest.find(')');
+    if (close == std::string::npos) {
+        out.malformed = true;
+        out.error = "unterminated allow(...) rule list";
+        return true;
+    }
+    std::string list = rest.substr(1, close - 1);
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        item = trim(item);
+        if (!item.empty())
+            out.rules.push_back(item);
+    }
+    if (out.rules.empty()) {
+        out.malformed = true;
+        out.error = "allow(...) names no rules";
+        return true;
+    }
+    for (const auto &r : out.rules) {
+        // Documentation showing the annotation grammar, not a real
+        // suppression ("allow(...)", "allow(<rule>, ...)").
+        if (r == "..." || r.find('<') != std::string::npos)
+            return false;
+    }
+    for (const auto &r : out.rules) {
+        if (r != "all" && ruleDescription(r).empty()) {
+            out.malformed = true;
+            out.error = "allow(...) names unknown rule '" + r + "'";
+            return true;
+        }
+    }
+    out.hasReason = !trim(rest.substr(close + 1)).empty();
+    if (!out.hasReason) {
+        out.malformed = true;
+        out.error = "allow(...) requires a reason after the rule list";
+    }
+    return true;
+}
+
+bool
+allowCovers(const Allow &allow, const Finding &finding)
+{
+    // Same line, or an own-line annotation directly above.
+    bool positioned = allow.line == finding.line
+        || (allow.ownLine && allow.line == finding.line - 1);
+    if (!positioned)
+        return false;
+    for (const auto &r : allow.rules)
+        if (r == "all" || r == finding.rule)
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::vector<Finding>
+lintFile(const LexedFile &file)
+{
+    return lintFile(file, UnorderedNames{});
+}
+
+std::vector<Finding>
+lintFile(const LexedFile &file, const UnorderedNames &extra)
+{
+    std::vector<Finding> raw = runRules(file, extra);
+
+    std::vector<Allow> allows;
+    for (const auto &comment : file.comments) {
+        Allow a;
+        if (!parseAllow(comment, a))
+            continue;
+        if (a.malformed) {
+            Finding f;
+            f.rule = "bad-suppression";
+            f.path = file.path;
+            f.line = a.line;
+            f.message = a.error;
+            raw.push_back(f);
+            continue;
+        }
+        allows.push_back(a);
+    }
+
+    std::vector<Finding> out;
+    for (auto &f : raw) {
+        bool suppressed = false;
+        if (f.rule != "bad-suppression") {
+            for (const auto &a : allows) {
+                if (allowCovers(a, f)) {
+                    suppressed = true;
+                    break;
+                }
+            }
+        }
+        if (suppressed)
+            continue;
+        if (f.line >= 1 && f.line <= static_cast<int>(file.lines.size()))
+            f.lineText = file.lines[f.line - 1];
+        out.push_back(std::move(f));
+    }
+    std::sort(out.begin(), out.end(), [](const Finding &a, const Finding &b) {
+        if (a.line != b.line)
+            return a.line < b.line;
+        if (a.rule != b.rule)
+            return a.rule < b.rule;
+        return a.message < b.message;
+    });
+    return out;
+}
+
+std::vector<std::string>
+collectSources(const std::string &root, const std::vector<std::string> &dirs)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> out;
+    for (const auto &dir : dirs) {
+        fs::path base = fs::path(root) / dir;
+        std::error_code ec;
+        if (!fs::is_directory(base, ec))
+            continue;
+        for (fs::recursive_directory_iterator it(base, ec), end;
+             it != end && !ec; it.increment(ec)) {
+            if (!it->is_regular_file())
+                continue;
+            fs::path p = it->path();
+            std::string ext = p.extension().string();
+            if (ext != ".cc" && ext != ".hh" && ext != ".cpp"
+                && ext != ".h")
+                continue;
+            std::string rel =
+                fs::relative(p, fs::path(root), ec).generic_string();
+            if (ec)
+                rel = p.generic_string();
+            // Intentional rule violations exercised by test_lint.cc.
+            if (rel.find("lint_fixtures") != std::string::npos)
+                continue;
+            out.push_back(rel);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::vector<Finding>
+runLint(const std::string &root, const std::vector<std::string> &files,
+        std::vector<std::string> *ioErrors)
+{
+    namespace fs = std::filesystem;
+    // Pass 1: lex everything and collect per-file unordered-container
+    // names, so an .cc iterating a member declared in its .hh is seen.
+    std::vector<LexedFile> lexed;
+    std::map<std::string, UnorderedNames> namesByStem;
+    for (const auto &rel : files) {
+        LexedFile lf;
+        std::string err;
+        if (!lexFile((fs::path(root) / rel).string(), lf, err)) {
+            if (ioErrors)
+                ioErrors->push_back(err);
+            continue;
+        }
+        lf.path = rel;      // rules scope on repo-relative paths
+        namesByStem[rel] = unorderedNames(lf);
+        lexed.push_back(std::move(lf));
+    }
+    // Pass 2: lint, feeding each file its paired header's names.
+    std::vector<Finding> out;
+    for (const auto &lf : lexed) {
+        auto dot = lf.path.rfind('.');
+        UnorderedNames extra;
+        if (dot != std::string::npos && lf.path.substr(dot) != ".hh") {
+            auto it = namesByStem.find(lf.path.substr(0, dot) + ".hh");
+            if (it != namesByStem.end())
+                extra = it->second;
+        }
+        auto findings = lintFile(lf, extra);
+        out.insert(out.end(), findings.begin(), findings.end());
+    }
+    return out;
+}
+
+std::uint64_t
+findingHash(const Finding &finding)
+{
+    std::uint64_t h = fnv1a64(finding.rule);
+    h = fnv1a64("|", h);
+    return fnv1a64(normalizeLine(finding.lineText), h);
+}
+
+std::string
+formatBaseline(const std::vector<Finding> &findings)
+{
+    std::vector<std::string> lines;
+    for (const auto &f : findings) {
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(findingHash(f)));
+        lines.push_back(f.rule + " " + f.path + " " + hex);
+    }
+    std::sort(lines.begin(), lines.end());
+    std::string out =
+        "# bh_lint baseline v1 — regenerate with: bh_lint --fix-baseline\n"
+        "# <rule> <path> <fnv1a64 of rule|normalized source line>\n";
+    for (const auto &l : lines)
+        out += l + "\n";
+    return out;
+}
+
+bool
+parseBaseline(const std::string &text, std::vector<BaselineEntry> &out,
+              std::string &err)
+{
+    std::stringstream ss(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(ss, line)) {
+        ++lineNo;
+        line = trim(line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::stringstream ls(line);
+        BaselineEntry e;
+        std::string hex;
+        if (!(ls >> e.rule >> e.path >> hex) || hex.size() != 16) {
+            err = "baseline line " + std::to_string(lineNo)
+                + ": expected '<rule> <path> <hash16>'";
+            return false;
+        }
+        char *end = nullptr;
+        e.hash = std::strtoull(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + 16) {
+            err = "baseline line " + std::to_string(lineNo)
+                + ": bad hash '" + hex + "'";
+            return false;
+        }
+        out.push_back(e);
+    }
+    return true;
+}
+
+std::vector<Finding>
+filterBaseline(const std::vector<Finding> &findings,
+               const std::vector<BaselineEntry> &baseline,
+               std::vector<Finding> *baselined)
+{
+    // Multiset of unconsumed baseline entries.
+    std::map<std::string, int> pool;
+    for (const auto &e : baseline) {
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(e.hash));
+        pool[e.rule + " " + e.path + " " + hex]++;
+    }
+    std::vector<Finding> fresh;
+    for (const auto &f : findings) {
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(findingHash(f)));
+        auto it = pool.find(f.rule + " " + f.path + " " + hex);
+        if (it != pool.end() && it->second > 0) {
+            --it->second;
+            if (baselined)
+                baselined->push_back(f);
+        } else {
+            fresh.push_back(f);
+        }
+    }
+    return fresh;
+}
+
+} // namespace bh::lint

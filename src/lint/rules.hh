@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Internal interface between the bh_lint driver (lint.cc) and the rule
+ * implementations (rules.cc). Findings returned here are raw: the
+ * driver applies suppression annotations and the baseline on top.
+ */
+
+#ifndef BH_LINT_RULES_HH
+#define BH_LINT_RULES_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace bh::lint
+{
+
+/** Run every rule applicable to `file.path` and return raw findings.
+ *  `extra` extends rule R2's sets of known unordered-container variable
+ *  names (members declared in the paired header). */
+std::vector<Finding> runRules(const LexedFile &file,
+                              const UnorderedNames &extra);
+
+} // namespace bh::lint
+
+#endif // BH_LINT_RULES_HH

@@ -214,7 +214,7 @@ class MemController
     /** Victim refresh progress per bank. */
     struct VictimOp
     {
-        RowId row;
+        RowId row = 0;
         bool activated = false;
     };
 
@@ -240,7 +240,7 @@ class MemController
 
     bool drainingWrites = false;
     bool drainToggle = false;
-    Cycle nextRefreshAt;
+    Cycle nextRefreshAt = 0;
     bool refreshPending = false;
 
     std::vector<DeferredCompletion> *completionSink = nullptr;
@@ -256,7 +256,7 @@ class MemController
     std::vector<int> inflightCount;     ///< [thread * banks + bank]
     std::vector<unsigned> hitStreak;    ///< consecutive row hits per bank
     std::vector<ThreadMemStats> perThread;
-    unsigned banks;
+    unsigned banks = 0;
 
     // Event-skipping bookkeeping (see activityStamp()).
     std::uint64_t numActions = 0;

@@ -201,9 +201,9 @@ class MemSystem
     /** Delivery-heap entry: ordered by (done, channel, lane seq). */
     struct PendingDelivery
     {
-        Cycle done;
-        unsigned channel;
-        std::uint64_t seq;
+        Cycle done = 0;
+        unsigned channel = 0;
+        std::uint64_t seq = 0;
         std::shared_ptr<std::function<void(Cycle)>> fn;
 
         bool

@@ -54,10 +54,10 @@ class Cbt : public Mitigation
     /** One disjoint row-region with a counter. */
     struct Region
     {
-        RowId lo;           ///< inclusive
-        RowId hi;           ///< exclusive
-        unsigned level;
-        std::uint32_t count;
+        RowId lo = 0;       ///< inclusive
+        RowId hi = 0;       ///< exclusive
+        unsigned level = 0;
+        std::uint32_t count = 0;
     };
 
     struct BankTree
@@ -69,11 +69,11 @@ class Cbt : public Mitigation
     void refreshRegion(unsigned bank, const Region &region);
 
     MitigationSettings cfg;
-    unsigned numLevels;
-    unsigned maxCounters;
+    unsigned numLevels = 0;
+    unsigned maxCounters = 0;
     std::vector<std::uint32_t> levelThr;
     std::vector<BankTree> trees;
-    Cycle nextReset;
+    Cycle nextReset = 0;
     std::uint64_t numRegionRefreshes = 0;
     std::uint64_t numRowsRefreshed = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitutils.hh"
+#include "common/ordered.hh"
 #include "mem/controller.hh"
 
 namespace bh
@@ -59,19 +60,26 @@ Graphene::onActivate(unsigned bank, RowId row, ThreadId, Cycle now)
         table.counts.emplace(row, 1);
         return;
     }
-    // Table full: Misra-Gries spillover.
+    // Table full: Misra-Gries spillover. The minimum scan walks in
+    // sorted-key order (rule R2), making the tie-break deterministic
+    // across stdlibs: among equal-count entries the lowest row wins.
     ++table.spillover;
-    auto min_it = table.counts.begin();
-    for (auto e = table.counts.begin(); e != table.counts.end(); ++e)
-        if (e->second < min_it->second)
-            min_it = e;
-    if (table.spillover >= min_it->second) {
+    RowId minRow = 0;
+    std::uint32_t minCount = 0;
+    bool haveMin = false;
+    for (const auto &item : sortedItems(table.counts)) {
+        if (!haveMin || item.second < minCount) {
+            minRow = item.first;
+            minCount = item.second;
+            haveMin = true;
+        }
+    }
+    if (haveMin && table.spillover >= minCount) {
         // The new row takes over the minimum entry with count
         // spillover + 1; the displaced count becomes the new spillover.
-        std::uint32_t displaced = min_it->second;
-        table.counts.erase(min_it);
+        table.counts.erase(minRow);
         table.counts.emplace(row, table.spillover + 1);
-        table.spillover = displaced;
+        table.spillover = minCount;
         auto &cnt = table.counts[row];
         if (cnt >= thT && cnt % thT == 0)
             refreshNeighbors(bank, row, now);

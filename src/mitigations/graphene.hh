@@ -52,10 +52,10 @@ class Graphene : public Mitigation
     void refreshNeighbors(unsigned bank, RowId row, Cycle now);
 
     MitigationSettings cfg;
-    std::uint32_t thT;          ///< Misra-Gries threshold T
-    unsigned numEntries;        ///< table entries per bank
+    std::uint32_t thT = 0;      ///< Misra-Gries threshold T
+    unsigned numEntries = 0;    ///< table entries per bank
     std::vector<BankTable> tables;
-    Cycle nextReset;
+    Cycle nextReset = 0;
     std::uint64_t numRefreshes = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/ordered.hh"
 #include "mem/controller.hh"
 #include "mitigations/para.hh"
 
@@ -53,12 +54,13 @@ MrLoc::onActivate(unsigned bank, RowId row, ThreadId, Cycle now)
         lastSeen[k] = seqNo++;
 
         // Bound the shadow map like the hardware FIFO bounds its storage.
+        // Sorted-key walk: which entries get dropped is per-entry, but
+        // rule R2 bans raw unordered iteration everywhere.
         if (lastSeen.size() > 8 * kQueueSize) {
-            for (auto e = lastSeen.begin(); e != lastSeen.end();) {
+            for (std::uint64_t stale : sortedMapKeys(lastSeen)) {
+                auto e = lastSeen.find(stale);
                 if (seqNo - e->second >= kQueueSize)
-                    e = lastSeen.erase(e);
-                else
-                    ++e;
+                    lastSeen.erase(e);
             }
         }
     }

@@ -47,7 +47,7 @@ class MrLoc : public Mitigation
     }
 
     MitigationSettings cfg;
-    double pBase;
+    double pBase = 0.0;
     Rng rng;
     /** Victim locality queue, tracked as last-enqueue sequence numbers. */
     std::unordered_map<std::uint64_t, std::uint64_t> lastSeen;

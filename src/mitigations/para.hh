@@ -41,7 +41,7 @@ class Para : public Mitigation
 
   private:
     MitigationSettings cfg;
-    double p;
+    double p = 0.0;
     Rng rng;
     std::uint64_t numRefreshes = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/ordered.hh"
 #include "mem/controller.hh"
 
 namespace bh
@@ -55,17 +56,18 @@ void
 Twice::onAutoRefresh(RowId, unsigned, Cycle)
 {
     // Pruning interval: drop entries whose count trails the pace needed
-    // to ever reach thRH within the window.
+    // to ever reach thRH within the window. Sorted-key walk (rule R2):
+    // the keep/drop decision is per-entry, so the order cannot change
+    // the surviving set.
     for (auto &table : tables) {
-        for (auto it = table.begin(); it != table.end();) {
+        for (RowId row : sortedMapKeys(table)) {
+            auto it = table.find(row);
             Entry &e = it->second;
             ++e.life;
             double pace = thPRU * static_cast<double>(e.life);
             if (static_cast<double>(e.count) < pace) {
-                it = table.erase(it);
+                table.erase(it);
                 ++numPruned;
-            } else {
-                ++it;
             }
         }
     }

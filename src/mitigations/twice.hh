@@ -58,8 +58,8 @@ class Twice : public Mitigation
     };
 
     MitigationSettings cfg;
-    std::uint32_t thRH;     ///< refresh neighbors at this count
-    double thPRU;           ///< minimum count growth per interval
+    std::uint32_t thRH = 0;  ///< refresh neighbors at this count
+    double thPRU = 0.0;      ///< minimum count growth per interval
     std::vector<std::unordered_map<RowId, Entry>> tables;
     std::size_t peakEntries = 0;
     std::uint64_t numRefreshes = 0;

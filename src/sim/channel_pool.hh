@@ -49,7 +49,7 @@ class ChannelPool
   private:
     void workerLoop();
 
-    unsigned numThreads;
+    unsigned numThreads = 0;
     std::vector<std::thread> workers;
 
     std::mutex mtx;

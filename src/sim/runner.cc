@@ -74,7 +74,7 @@ Runner::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
     {
         std::mutex m;
         std::condition_variable done;
-        std::size_t remaining;
+        std::size_t remaining = 0;
         std::exception_ptr firstError;
     } batch;
     batch.remaining = n;

@@ -74,7 +74,7 @@ class Runner
   private:
     void workerLoop();
 
-    unsigned numJobs;
+    unsigned numJobs = 0;
     std::vector<std::thread> workers;
     std::queue<std::function<void()>> tasks;
     std::mutex mtx;

@@ -23,9 +23,9 @@ namespace bh
 struct AppSpec
 {
     SynthParams params;
-    char category;          ///< 'L', 'M', or 'H'
-    double paperMpki;       ///< -1 when the paper lists none (I/O apps)
-    double paperRbcpki;
+    char category = '?';    ///< 'L', 'M', or 'H'
+    double paperMpki = 0.0; ///< -1 when the paper lists none (I/O apps)
+    double paperRbcpki = 0.0;
 };
 
 /** All 30 applications of Table 8. */

@@ -158,13 +158,13 @@ std::string fuzzEnvelopeDescr(const AttackPatternSpec &spec);
  */
 struct FuzzRegressionCell
 {
-    const char *name;           ///< catalog name ("fuzz-<mech>-<k>")
-    const char *summary;        ///< one-line description (--list)
-    const char *serialized;     ///< the replayable parameter vector
-    const char *mechanism;      ///< mechanism it was found against
-    unsigned channels;          ///< channel count of the finding run
-    std::uint64_t foundMaxWindowActs;   ///< oracle peak when found
-    double foundMargin;         ///< foundMaxWindowActs / N_RH
+    const char *name = nullptr;       ///< catalog name ("fuzz-<mech>-<k>")
+    const char *summary = nullptr;    ///< one-line description (--list)
+    const char *serialized = nullptr; ///< the replayable parameter vector
+    const char *mechanism = nullptr;  ///< mechanism it was found against
+    unsigned channels = 0;            ///< channel count of the finding run
+    std::uint64_t foundMaxWindowActs = 0;   ///< oracle peak when found
+    double foundMargin = 0.0;   ///< foundMaxWindowActs / N_RH
 };
 
 /** All promoted regression cells (see src/workloads/fuzz_regressions.cc). */

@@ -51,8 +51,8 @@ class SynthTrace : public TraceSource
 
   private:
     SynthParams cfg;
-    std::uint64_t seed;
-    Addr addrBase;
+    std::uint64_t seed = 0;
+    Addr addrBase = 0;
     Rng rng;
     Addr current = 0;
     unsigned runLeft = 0;

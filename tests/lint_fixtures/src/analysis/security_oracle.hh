@@ -1,0 +1,8 @@
+// Fixture: rule R3 (observer-const) suppression path. The path mimics
+// src/analysis/security_oracle.hh so the rule's scoping applies.
+struct FixtureOracle
+{
+    void onActivate(const FixtureState &state, long now);
+    // bh-lint: allow(observer-const) fixture exercises the suppression path
+    void prune(FixtureState &state, long now);
+};

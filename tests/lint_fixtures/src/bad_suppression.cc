@@ -1,0 +1,9 @@
+// Fixture: malformed bh-lint annotations are themselves findings.
+// bh-lint: allow(nondet)
+int lacksReason;
+
+// bh-lint: allow(not-a-real-rule) some reason text
+int unknownRule;
+
+// bh-lint: deny(nondet) some reason text
+int unknownVerb;

@@ -1,0 +1,8 @@
+// Fixture: rule R3 (observer-const) flags mutable observer parameters.
+// The path mimics src/dram/hammer_observer.hh so the rule's scoping
+// applies; never compiled.
+struct FixtureObserver
+{
+    void onActivate(FixtureState &state, long now);
+    void onRefresh(const FixtureState &state, long now);
+};

@@ -1,0 +1,12 @@
+// Fixture: iterating a member declared in the paired header must still
+// be caught by rule R2 (runLint feeds header names into the .cc pass).
+#include "header_pair.hh"
+
+int
+sumCounts(const FixtureTable &table)
+{
+    int sum = 0;
+    for (const auto &kv : table.counts)
+        sum += kv.second;
+    return sum;
+}

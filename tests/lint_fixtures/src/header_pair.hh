@@ -1,0 +1,9 @@
+// Fixture: paired-header analysis — the member is declared here, the
+// iteration lives in header_pair.cc.
+#include <unordered_map>
+
+struct FixtureTable
+{
+    std::unordered_map<int, int> counts;
+    int spillover = 0;
+};

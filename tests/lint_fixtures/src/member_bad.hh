@@ -1,0 +1,10 @@
+// Fixture: rule R5 (member-init) flags uninitialized POD and pointer
+// members; initialized ones pass.
+struct FixtureCounters
+{
+    unsigned acts;
+    double rate;
+    int *scratch;
+    unsigned inited = 0;
+    double ratio = 1.0;
+};

@@ -1,0 +1,10 @@
+// Fixture: rule R5 (member-init) passes initialized members and honors
+// suppressions.
+struct FixtureCountersOk
+{
+    unsigned acts = 0;
+    double rate = 0.0;
+    int *scratch = nullptr;
+    // bh-lint: allow(member-init) fixture exercises the suppression path
+    unsigned lazy;
+};

@@ -1,0 +1,26 @@
+// Fixture: rule R1 (nondet) flags each banned nondeterminism source.
+// Never compiled — lexed by tests/test_lint.cc only.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+
+int
+badRand()
+{
+    return rand();
+}
+
+long
+badTime()
+{
+    return time(nullptr);
+}
+
+double
+badWallClock()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+std::map<int *, int> badPointerKeys;

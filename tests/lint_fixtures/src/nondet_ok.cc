@@ -1,0 +1,15 @@
+// Fixture: rule R1 (nondet) suppressions silence each finding.
+#include <cstdlib>
+
+int
+okRandOwnLine()
+{
+    // bh-lint: allow(nondet) fixture exercises the own-line suppression path
+    return rand();
+}
+
+long
+okTimeSameLine()
+{
+    return time(nullptr); // bh-lint: allow(nondet) fixture exercises the same-line suppression path
+}

@@ -1,0 +1,19 @@
+// Fixture: rule R4 (rng-discipline) flags std randomness and impure
+// Rng seeds.
+#include <random>
+
+#include "common/rng.hh"
+
+unsigned
+badEngine()
+{
+    std::mt19937 gen(12345);
+    return gen();
+}
+
+unsigned long
+badSeed()
+{
+    auto r = Rng(time(nullptr));
+    return r.next();
+}

@@ -1,0 +1,18 @@
+// Fixture: rule R4 (rng-discipline) passes pure seeds and honors
+// suppressions.
+#include "common/rng.hh"
+
+unsigned long
+okSeed(unsigned long masterSeed)
+{
+    auto r = Rng(masterSeed ^ 0x9e3779b97f4a7c15ull);
+    return r.next();
+}
+
+unsigned long
+suppressedSeed()
+{
+    // bh-lint: allow(rng-discipline, nondet) fixture exercises the multi-rule suppression path
+    auto r = Rng(time(nullptr));
+    return r.next();
+}

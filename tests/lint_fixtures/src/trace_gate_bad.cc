@@ -1,0 +1,16 @@
+// Fixture: rule R3 (trace-gate) flags emit calls outside the gate.
+#include "common/trace_sink.hh"
+
+void
+emitUngated(long now)
+{
+    TraceSink::instant("cat", "evt", 0, now, {});
+}
+
+void
+emitNegatedGate(long now)
+{
+    if (!TraceSink::on())
+        return;
+    TraceSink::counter("cat", "evt", 0, now, 1);
+}

@@ -1,0 +1,16 @@
+// Fixture: rule R3 (trace-gate) passes gated emit sites and honors
+// suppressions.
+#include "common/trace_sink.hh"
+
+void
+emitGated(long now)
+{
+    if (TraceSink::on()) {
+        TraceSink::instant("cat", "evt", 0, now, {});
+        TraceSink::counter("cat", "evt", 0, now, 1);
+    }
+    if (TraceSink::on())
+        TraceSink::complete("cat", "evt", 0, now, 1);
+    // bh-lint: allow(trace-gate) fixture exercises the suppression path
+    TraceSink::instant("cat", "evt", 0, now, {});
+}

@@ -1,0 +1,29 @@
+// Fixture: rule R2 (unordered-iter) flags raw iteration, including
+// through a nested container's range-for loop variable.
+#include <unordered_map>
+#include <vector>
+
+int
+sumValues(const std::unordered_map<int, int> &m)
+{
+    std::unordered_map<int, int> local = m;
+    int sum = 0;
+    for (const auto &kv : local)
+        sum += kv.second;
+    for (auto it = local.begin(); it != local.end(); ++it)
+        sum += it->second;
+    return sum;
+}
+
+int
+sumBanks(const std::vector<std::unordered_map<int, int>> &banks)
+{
+    int sum = 0;
+    // The outer vector walk is order-safe and must NOT be flagged...
+    for (const auto &bank : banks) {
+        // ...but the loop variable is an unordered map: this one is.
+        for (const auto &kv : bank)
+            sum += kv.second;
+    }
+    return sum;
+}

@@ -1,0 +1,26 @@
+// Fixture: rule R2 (unordered-iter) passes through the sorted-emission
+// helpers and honors suppressions.
+#include <unordered_map>
+
+#include "common/ordered.hh"
+
+int
+sumValuesSorted(const std::unordered_map<int, int> &m)
+{
+    int sum = 0;
+    for (const auto &kv : sortedItems(m))
+        sum += kv.second;
+    for (int key : sortedMapKeys(m))
+        sum += key;
+    return sum;
+}
+
+int
+sumValuesSuppressed(const std::unordered_map<int, int> &m)
+{
+    int sum = 0;
+    // bh-lint: allow(unordered-iter) fixture exercises the suppression path
+    for (const auto &kv : m)
+        sum += kv.second;
+    return sum;
+}

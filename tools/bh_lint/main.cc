@@ -1,0 +1,172 @@
+/**
+ * @file
+ * bh_lint CLI: the repo's in-tree determinism & observation-only
+ * invariant analyzer (see src/lint/lint.hh for the rule catalog).
+ *
+ *   bh_lint [--root DIR] [--baseline FILE] [--fix-baseline]
+ *           [--show-baselined] [--list-rules] [paths...]
+ *
+ * Default paths are src, bench, tests (relative to --root). Exit code
+ * is 0 when no unsuppressed, unbaselined finding remains, 1 otherwise,
+ * 2 on usage/IO errors. Registered as the `bh_lint_clean` ctest and a
+ * CI step, so a PR that introduces a banned pattern fails to merge.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "usage: bh_lint [options] [paths...]\n"
+        "\n"
+        "Static analysis of the repo's determinism and observation-only\n"
+        "invariants. Paths are files or directories relative to --root\n"
+        "(default: src bench tests).\n"
+        "\n"
+        "options:\n"
+        "  --root DIR        repo root to scan (default: .)\n"
+        "  --baseline FILE   baseline file (default: ROOT/.bh_lint_baseline\n"
+        "                    when it exists)\n"
+        "  --fix-baseline    rewrite the baseline to the current findings\n"
+        "                    and exit 0\n"
+        "  --show-baselined  also print findings absorbed by the baseline\n"
+        "  --list-rules      print the rule catalog and exit\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    namespace fs = std::filesystem;
+    using namespace bh::lint;
+
+    std::string root = ".";
+    std::string baselinePath;
+    bool fixBaseline = false;
+    bool showBaselined = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list-rules") {
+            for (const auto &id : ruleIds())
+                std::printf("%-16s %s\n", id.c_str(),
+                            ruleDescription(id).c_str());
+            return 0;
+        } else if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (arg == "--fix-baseline") {
+            fixBaseline = true;
+        } else if (arg == "--show-baselined") {
+            showBaselined = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "bh_lint: unknown option '" << arg << "'\n";
+            usage();
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "bench", "tests"};
+    if (baselinePath.empty()) {
+        fs::path def = fs::path(root) / ".bh_lint_baseline";
+        std::error_code ec;
+        if (fixBaseline || fs::exists(def, ec))
+            baselinePath = def.string();
+    }
+
+    // Expand directories; pass explicit files through.
+    std::vector<std::string> files;
+    std::vector<std::string> dirs;
+    for (const auto &p : paths) {
+        std::error_code ec;
+        if (fs::is_directory(fs::path(root) / p, ec))
+            dirs.push_back(p);
+        else
+            files.push_back(p);
+    }
+    auto collected = collectSources(root, dirs);
+    files.insert(files.end(), collected.begin(), collected.end());
+    if (files.empty()) {
+        std::cerr << "bh_lint: nothing to scan under '" << root << "'\n";
+        return 2;
+    }
+
+    std::vector<std::string> ioErrors;
+    auto findings = runLint(root, files, &ioErrors);
+    for (const auto &e : ioErrors)
+        std::cerr << "bh_lint: " << e << "\n";
+    if (!ioErrors.empty())
+        return 2;
+
+    if (fixBaseline) {
+        std::ofstream out(baselinePath, std::ios::binary);
+        if (!out) {
+            std::cerr << "bh_lint: cannot write " << baselinePath << "\n";
+            return 2;
+        }
+        out << formatBaseline(findings);
+        std::cout << "bh_lint: baseline of " << findings.size()
+                  << " finding(s) written to " << baselinePath << "\n";
+        return 0;
+    }
+
+    std::vector<BaselineEntry> baseline;
+    if (!baselinePath.empty()) {
+        std::ifstream in(baselinePath, std::ios::binary);
+        if (in) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            std::string err;
+            if (!parseBaseline(ss.str(), baseline, err)) {
+                std::cerr << "bh_lint: " << baselinePath << ": " << err
+                          << "\n";
+                return 2;
+            }
+        }
+    }
+
+    std::vector<Finding> baselined;
+    auto fresh = filterBaseline(findings, baseline, &baselined);
+
+    if (showBaselined) {
+        for (const auto &f : baselined)
+            std::printf("%s:%d: [%s] (baselined) %s\n", f.path.c_str(),
+                        f.line, f.rule.c_str(), f.message.c_str());
+    }
+    for (const auto &f : fresh)
+        std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+
+    std::printf("bh_lint: %zu file(s), %zu finding(s)", files.size(),
+                fresh.size());
+    if (!baselined.empty())
+        std::printf(" (+%zu baselined)", baselined.size());
+    std::printf("\n");
+    if (!fresh.empty()) {
+        std::printf("fix the findings, annotate with "
+                    "'// bh-lint: allow(<rule>) <reason>', or run "
+                    "bh_lint --fix-baseline\n");
+        return 1;
+    }
+    return 0;
+}
