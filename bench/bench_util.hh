@@ -182,7 +182,10 @@ struct BenchContext
     bool
     executingAllCells() const
     {
-        return mode == CellMode::Run && shard.count == 1;
+        // A resume filter means some cells are already on disk: warm-up
+        // over the full app set would simulate alone-runs the remaining
+        // cells never read (pathological for one-cell farm leases).
+        return mode == CellMode::Run && shard.count == 1 && !resumeCovered;
     }
 };
 

@@ -27,6 +27,7 @@
 #include <map>
 
 #include "bench/registry.hh"
+#include "common/fsio.hh"
 #include "report/perf.hh"
 #include "report/report.hh"
 
@@ -177,13 +178,11 @@ cmdMerge(const std::vector<std::string> &args)
 
     if (out_path.empty())
         out_path = "BENCH_" + merge.manifest.experiment + ".json";
-    std::ofstream f(out_path, std::ios::binary);
-    if (!f) {
-        std::fprintf(stderr, "bh_collect: cannot write %s\n",
-                     out_path.c_str());
+    std::string write_err;
+    if (!atomicWriteFile(out_path, final_doc.dump(2) + "\n", write_err)) {
+        std::fprintf(stderr, "bh_collect: %s\n", write_err.c_str());
         return 2;
     }
-    f << final_doc.dump(2) << "\n";
     std::printf("bh_collect: merged %zu input(s), %llu cell(s) -> %s%s\n",
                 inputs.size(),
                 static_cast<unsigned long long>(merge.manifest.cellTotal),
@@ -201,7 +200,10 @@ cmdStatus(const std::vector<std::string> &args)
     double stale_after = 3600.0;
 
     // Expand directory arguments into the BENCH_*.json files they hold.
+    // Quarantined files (*.corrupt, left by bh_bench --resume or bh_farm
+    // when a partial was torn/mangled) are counted, not loaded.
     std::vector<std::string> files;
+    std::uint64_t quarantined = 0;
     for (std::size_t ai = 0; ai < args.size(); ++ai) {
         const std::string &arg = args[ai];
         if (arg == "--stale-after") {
@@ -231,10 +233,15 @@ cmdStatus(const std::vector<std::string> &args)
                 if (!it->is_regular_file(type_ec) || type_ec)
                     continue;
                 std::string name = it->path().filename().string();
+                if (name.rfind("BENCH_", 0) != 0)
+                    continue;
+                if (name.find(".corrupt") != std::string::npos) {
+                    ++quarantined;
+                    continue;
+                }
                 // BENCH_perf.json self-profiles are not shard reports;
                 // they are read separately for per-shard elapsed time.
-                if (name.rfind("BENCH_", 0) == 0 &&
-                    name.size() > 5 &&
+                if (name.size() > 5 &&
                     name.compare(name.size() - 5, 5, ".json") == 0 &&
                     name != "BENCH_perf.json")
                     files.push_back(it->path().string());
@@ -256,15 +263,27 @@ cmdStatus(const std::vector<std::string> &args)
     }
     std::sort(files.begin(), files.end());
 
+    // A corrupt shard file must not hide the status of the healthy ones:
+    // count and report it (its cells show up as missing) instead of
+    // aborting the whole scan the way merge rightly does.
     std::vector<LoadedReport> inputs;
+    std::uint64_t corrupt = 0;
     std::string err;
     for (const std::string &file : files) {
         LoadedReport report;
         if (!loadReportFile(file, report, err)) {
-            std::fprintf(stderr, "bh_collect: %s\n", err.c_str());
-            return 2;
+            std::fprintf(stderr,
+                         "bh_collect: corrupt input skipped: %s\n",
+                         err.c_str());
+            ++corrupt;
+            continue;
         }
         inputs.push_back(std::move(report));
+    }
+    if (inputs.empty()) {
+        std::fprintf(stderr,
+                     "bh_collect status: no loadable BENCH_*.json inputs\n");
+        return 2;
     }
 
     // Per-shard elapsed time comes from the BENCH_perf.json self-profile
@@ -365,6 +384,11 @@ cmdStatus(const std::vector<std::string> &args)
                                 static_cast<double>(g.cellsCovered));
         }
     }
+    if (corrupt > 0 || quarantined > 0)
+        std::printf("corrupt inputs: %llu skipped this scan, %llu "
+                    "quarantined earlier (*.corrupt)\n",
+                    static_cast<unsigned long long>(corrupt),
+                    static_cast<unsigned long long>(quarantined));
     return all_complete ? 0 : 1;
 }
 

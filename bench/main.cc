@@ -26,6 +26,7 @@
 #include <ctime>
 
 #include "bench/registry.hh"
+#include "common/fsio.hh"
 #include "common/trace_sink.hh"
 #include "report/report.hh"
 #include "sim/system.hh"
@@ -92,8 +93,9 @@ usage(std::FILE *out)
 /**
  * Load every BENCH_*.json under `dir` that parses cleanly. Unreadable
  * or truncated files — exactly what a crashed shard run leaves behind —
- * are skipped with a warning: their cells count as missing and get
- * re-run.
+ * are quarantined to `<file>.corrupt` so they stop shadowing the real
+ * output name, and their cells count as missing and get re-run.
+ * `bh_collect status` reports the quarantined files.
  */
 std::vector<bh::LoadedReport>
 loadResumeReports(const std::string &dir)
@@ -126,9 +128,14 @@ loadResumeReports(const std::string &dir)
         bh::LoadedReport report;
         std::string err;
         if (!loadReportFile(file, report, err)) {
-            std::fprintf(stderr,
-                         "bh_bench: --resume: skipping %s (%s); its cells "
-                         "count as missing\n", file.c_str(), err.c_str());
+            std::string moved = bh::quarantineCorrupt(file);
+            if (moved.empty())
+                bh::warn("--resume: skipping %s (%s); its cells count as "
+                         "missing", file.c_str(), err.c_str());
+            else
+                bh::warn("--resume: quarantined %s -> %s (%s); its cells "
+                         "count as missing", file.c_str(), moved.c_str(),
+                         err.c_str());
             continue;
         }
         reports.push_back(std::move(report));
@@ -487,10 +494,7 @@ main(int argc, char **argv)
                   "(different --scale/--channels or binary version); "
                   "move it aside or pass --out elsewhere", path.c_str());
         }
-        std::ofstream f(path);
-        if (!f)
-            fatal("cannot write %s", path.c_str());
-        f << ctx.result.dump(2) << "\n";
+        atomicWriteFileOrDie(path, ctx.result.dump(2) + "\n");
         if (ctx.resumeCovered)
             std::printf("[%s: resumed %llu missing of %llu cells, "
                         "%.2f s -> %s; run bh_collect merge over %s]\n\n",
@@ -545,10 +549,7 @@ main(int argc, char **argv)
             static_cast<std::int64_t>(std::time(nullptr));
         perf["total_wall_s"] = total_s;
         perf["experiments"] = std::move(perf_experiments);
-        std::ofstream pf(perf_path, std::ios::binary);
-        if (!pf)
-            fatal("cannot write %s", perf_path.c_str());
-        pf << perf.dump(2) << "\n";
+        atomicWriteFileOrDie(perf_path, perf.dump(2) + "\n");
     }
 
     if (trace_path.size()) {

@@ -1,0 +1,186 @@
+#include "common/fsio.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace bh
+{
+
+namespace
+{
+
+/** Write all of `data` to `fd`, retrying short writes and EINTR. */
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Write `content` to a pid-tagged sibling temp of `path` and fsync it.
+ * Returns the temp path, or empty with `err` set. `tag` keeps temps of
+ * different callers (atomic-replace vs exclusive-create) distinct.
+ */
+std::string
+writeTemp(const std::string &path, const std::string &content,
+          const char *tag, std::string &err)
+{
+    std::string tmp =
+        path + "." + tag + "." + std::to_string(::getpid()) + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        err = tmp + ": open: " + std::strerror(errno);
+        return "";
+    }
+    if (!writeAll(fd, content)) {
+        err = tmp + ": write: " + std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return "";
+    }
+    if (::fsync(fd) != 0) {
+        err = tmp + ": fsync: " + std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return "";
+    }
+    if (::close(fd) != 0) {
+        err = tmp + ": close: " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return "";
+    }
+    return tmp;
+}
+
+} // namespace
+
+bool
+atomicWriteFile(const std::string &path, const std::string &content,
+                std::string &err)
+{
+    std::string tmp = writeTemp(path, content, "aw", err);
+    if (tmp.empty())
+        return false;
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        err = path + ": rename: " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+atomicWriteFileOrDie(const std::string &path, const std::string &content)
+{
+    std::string err;
+    if (!atomicWriteFile(path, content, err))
+        fatal("cannot write %s: %s", path.c_str(), err.c_str());
+}
+
+bool
+createExclusive(const std::string &path, const std::string &content,
+                std::string &err)
+{
+    std::string tmp = writeTemp(path, content, "cx", err);
+    if (tmp.empty())
+        return false;
+    // link() is the atomic create-with-content: it fails with EEXIST
+    // when another claimant already holds the path, and a winner's file
+    // is fully written and fsynced before it becomes visible.
+    int rc = ::link(tmp.c_str(), path.c_str());
+    int saved = errno;
+    ::unlink(tmp.c_str());
+    if (rc == 0)
+        return true;
+    if (saved == EEXIST) {
+        err.clear();
+        return false;
+    }
+    err = path + ": link: " + std::strerror(saved);
+    return false;
+}
+
+bool
+appendLine(const std::string &path, const std::string &line,
+           std::string &err)
+{
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+        err = path + ": open: " + std::strerror(errno);
+        return false;
+    }
+    bool ok = writeAll(fd, line + "\n");
+    if (!ok)
+        err = path + ": write: " + std::strerror(errno);
+    if (::close(fd) != 0 && ok) {
+        err = path + ": close: " + std::strerror(errno);
+        ok = false;
+    }
+    return ok;
+}
+
+bool
+readFile(const std::string &path, std::string &out, std::string &err)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        err = path + ": open: " + std::strerror(errno);
+        return false;
+    }
+    out.clear();
+    char buf[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            err = path + ": read: " + std::strerror(errno);
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+std::string
+quarantineCorrupt(const std::string &path)
+{
+    for (unsigned k = 1; k <= 1000; ++k) {
+        std::string dest = path + ".corrupt" +
+            (k == 1 ? std::string() : std::to_string(k));
+        // O_EXCL probe keeps concurrent quarantines from clobbering
+        // each other's evidence; renameat2(RENAME_NOREPLACE) would be
+        // ideal but is Linux-specific — the probe window is benign
+        // (worst case two corrupt copies of the same bytes).
+        struct stat st;
+        if (::stat(dest.c_str(), &st) == 0)
+            continue;
+        if (::rename(path.c_str(), dest.c_str()) == 0)
+            return dest;
+        return "";   // vanished: someone else quarantined it first
+    }
+    return "";
+}
+
+} // namespace bh

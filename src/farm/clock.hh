@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Injectable wall-clock for the farm's lease/heartbeat protocol.
+ *
+ * All farm timestamps (lease claims, heartbeats, backoff deadlines) are
+ * unix seconds produced by a FarmClock, never read ad hoc — so the unit
+ * tests drive every staleness and backoff path with a FakeFarmClock and
+ * zero real sleeping, and the single real-clock read in the tree stays
+ * annotated and auditable. Farm timing is operational state (which host
+ * runs which cell, when); it never feeds simulation results, which stay
+ * byte-deterministic regardless of scheduling.
+ */
+
+#ifndef BH_FARM_CLOCK_HH
+#define BH_FARM_CLOCK_HH
+
+#include <atomic>
+#include <chrono>
+
+namespace bh
+{
+
+/** Source of unix-epoch timestamps (seconds) for farm bookkeeping. */
+class FarmClock
+{
+  public:
+    virtual ~FarmClock() = default;
+
+    /** Current unix time in seconds. */
+    virtual double nowUnix() = 0;
+};
+
+/** The real system clock, for the bh_farm CLI. */
+class SystemFarmClock : public FarmClock
+{
+  public:
+    double
+    nowUnix() override
+    {
+        // bh-lint: allow(nondet) farm lease/heartbeat timing sidecar; never feeds simulation state
+        auto now = std::chrono::system_clock::now().time_since_epoch();
+        return std::chrono::duration<double>(now).count();
+    }
+};
+
+/**
+ * Deterministic clock for tests: advances only when told to. Atomic so
+ * a test's cell runner (on the watchdog helper thread) can advance time
+ * while the watchdog loop reads it.
+ */
+class FakeFarmClock : public FarmClock
+{
+  public:
+    explicit FakeFarmClock(double start = 1'000'000.0) : t(start) {}
+
+    double nowUnix() override { return t.load(); }
+
+    void
+    advance(double seconds)
+    {
+        t.store(t.load() + seconds);
+    }
+
+    void set(double unix_s) { t.store(unix_s); }
+
+  private:
+    std::atomic<double> t{0.0};
+};
+
+} // namespace bh
+
+#endif // BH_FARM_CLOCK_HH

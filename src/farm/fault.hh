@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic fault injection for the bh_farm crash paths.
+ *
+ * A FaultPlan is a set of (kind, cell) faults, parsed from a spec string
+ * (CLI --fault-plan or the BH_FARM_FAULTS environment hook) or expanded
+ * deterministically from a seed. Each fault fires at most once per farm
+ * directory, across however many worker processes share it: firing is
+ * an exclusive marker-file creation, so a worker respawned after a
+ * kill fault does not die again on the same cell. Tests and CI use the
+ * plan to exercise every recovery path on purpose:
+ *
+ *   kill@C      worker dies (SIGKILL-equivalent) after computing cell C,
+ *               before committing it — lease left behind, no output
+ *   truncate@C  cell C's result file is written torn (prefix only),
+ *               simulating a crash mid-write without atomic rename
+ *   corrupt@C   cell C's result file is written with mangled JSON
+ *   stale@C     the worker claims cell C, then silently abandons the
+ *               lease without running or releasing it
+ *   dup@C       double-claim race: the worker runs cell C ignoring the
+ *               lease protocol, as if an exclusive claim spuriously
+ *               succeeded twice — exercising the digest-agreement check
+ */
+
+#ifndef BH_FARM_FAULT_HH
+#define BH_FARM_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bh
+{
+
+/** Crash-path selector; see file comment for per-kind semantics. */
+enum class FaultKind
+{
+    kKillMidCell,
+    kTruncateWrite,
+    kCorruptJson,
+    kStaleLease,
+    kDoubleClaim,
+};
+
+/** Spec token for a kind ("kill", "truncate", "corrupt", "stale", "dup"). */
+const char *faultKindName(FaultKind kind);
+
+/** Parsed, deterministic set of injected faults. */
+struct FaultPlan
+{
+    struct Fault
+    {
+        FaultKind kind = FaultKind::kKillMidCell;
+        std::uint64_t cell = 0;
+    };
+    std::vector<Fault> faults;
+
+    bool empty() const { return faults.empty(); }
+
+    /** True when the plan contains (kind, cell). */
+    bool armed(FaultKind kind, std::uint64_t cell) const;
+
+    /** Canonical spec string ("kill@3,corrupt@5"; empty plan -> ""). */
+    std::string serialize() const;
+
+    /**
+     * Parse a spec: comma-separated `<kind>@<cell>` entries, or
+     * `random:<seed>:<count>` which expands to `count` deterministic
+     * (kind, cell) pairs drawn from the plan's Rng over a grid of
+     * `cell_total` cells (duplicates collapse). Returns false with a
+     * diagnostic on malformed specs or cells outside the grid.
+     */
+    static bool parse(const std::string &spec, std::uint64_t cell_total,
+                      FaultPlan &out, std::string &err);
+};
+
+/**
+ * Fire (kind, cell) at most once per farm: atomically create its marker
+ * file under `fault_dir`. Returns true exactly once across all callers
+ * sharing the directory — the caller that wins injects the fault.
+ */
+bool consumeFault(const std::string &fault_dir, FaultKind kind,
+                  std::uint64_t cell);
+
+} // namespace bh
+
+#endif // BH_FARM_FAULT_HH

@@ -1,0 +1,73 @@
+#include "farm/journal.hh"
+
+#include "common/fsio.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace bh
+{
+
+void
+journalAppend(const std::string &journal_path, const JournalEvent &ev)
+{
+    Json line = Json::object();
+    line["t"] = ev.unixTime;
+    line["ev"] = ev.event;
+    line["cell"] = ev.cell;
+    line["worker"] = ev.worker;
+    if (ev.attempt > 0)
+        line["attempt"] = ev.attempt;
+    if (!ev.detail.empty())
+        line["detail"] = ev.detail;
+    std::string err;
+    if (!appendLine(journal_path, line.dump(), err))
+        warn("farm journal append failed: %s", err.c_str());
+}
+
+std::vector<JournalEvent>
+journalRead(const std::string &journal_path, std::size_t *skipped)
+{
+    std::vector<JournalEvent> out;
+    if (skipped)
+        *skipped = 0;
+    std::string text, err;
+    if (!readFile(journal_path, text, err))
+        return out;
+
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        std::string line = text.substr(
+            pos, nl == std::string::npos ? std::string::npos : nl - pos);
+        pos = nl == std::string::npos ? text.size() : nl + 1;
+        if (line.empty())
+            continue;
+        Json doc;
+        const Json *ev_field = nullptr;
+        if (!Json::parse(line, doc) ||
+            doc.type() != Json::Type::Object ||
+            !(ev_field = doc.find("ev"))) {
+            // Torn tail of a killed writer, or garbage: audit data only,
+            // so skip and count rather than fail.
+            if (skipped)
+                ++*skipped;
+            continue;
+        }
+        JournalEvent ev;
+        ev.event = ev_field->asString();
+        if (const Json *v = doc.find("t"))
+            ev.unixTime = v->asDouble();
+        if (const Json *v = doc.find("cell"))
+            ev.cell = static_cast<std::uint64_t>(v->asInt());
+        if (const Json *v = doc.find("worker"))
+            ev.worker = v->asString();
+        if (const Json *v = doc.find("attempt"))
+            ev.attempt = static_cast<unsigned>(v->asInt());
+        if (const Json *v = doc.find("detail"))
+            ev.detail = v->asString();
+        out.push_back(std::move(ev));
+    }
+    return out;
+}
+
+} // namespace bh

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Append-only lease journal of a farm directory.
+ *
+ * One JSON object per line in `journal.jsonl`, appended with a single
+ * O_APPEND write so concurrent workers never interleave within a line.
+ * The journal is the farm's audit trail — claim/steal/commit/fail/
+ * poison history with timestamps and attempt counts — and what `bh_farm
+ * status` and the crash/recovery tests read to reconstruct what
+ * happened. It is deliberately NOT the state of record: the lease,
+ * done, fail, and poison files are (each updated crash-safely), so a
+ * torn final journal line after a worker SIGKILL costs nothing. The
+ * reader skips malformed lines for exactly that reason.
+ */
+
+#ifndef BH_FARM_JOURNAL_HH
+#define BH_FARM_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bh
+{
+
+/** One journal line. */
+struct JournalEvent
+{
+    double unixTime = 0.0;
+    std::string event;      ///< "claim", "steal", "done", "fail", ...
+    std::uint64_t cell = 0;
+    std::string worker;
+    unsigned attempt = 0;
+    std::string detail;     ///< free-form reason ("watchdog after 2.0 s")
+};
+
+/** Append one event to `journal_path` (best effort; warns on IO error). */
+void journalAppend(const std::string &journal_path, const JournalEvent &ev);
+
+/**
+ * Read every well-formed event of `journal_path` in append order.
+ * Malformed or torn lines (a crashed writer's last line) are skipped;
+ * `skipped` (optional) counts them. A missing file is an empty journal.
+ */
+std::vector<JournalEvent> journalRead(const std::string &journal_path,
+                                      std::size_t *skipped = nullptr);
+
+} // namespace bh
+
+#endif // BH_FARM_JOURNAL_HH
