@@ -264,6 +264,44 @@ securityConfig(const BenchContext &ctx, const std::string &mechanism,
     return cfg;
 }
 
+/**
+ * The figure-grid comparison set: the paper's seven mechanisms in
+ * figure order, then the factory's zoo additions. Derived from the
+ * factory (never enumerated by hand) so a newly registered mechanism
+ * cannot be silently skipped by a sweep; the zoo appends *after* the
+ * frozen paper set so pre-zoo cell indices — and the CI shard numbers
+ * that name them — stay stable.
+ */
+inline const std::vector<std::string> &
+comparisonMechanisms()
+{
+    static const std::vector<std::string> mechs = [] {
+        std::vector<std::string> v = paperMechanisms();
+        for (const auto &m : zooMechanisms())
+            v.push_back(m);
+        return v;
+    }();
+    return mechs;
+}
+
+/**
+ * Security-sweep mechanism set (secsweep, fuzz, and their CI verdict
+ * gates): the unmitigated Baseline reference first, then every
+ * compared mechanism. Same factory-derived coverage guarantee as
+ * comparisonMechanisms().
+ */
+inline const std::vector<std::string> &
+securityMechanisms()
+{
+    static const std::vector<std::string> mechs = [] {
+        std::vector<std::string> v = {"Baseline"};
+        for (const auto &m : comparisonMechanisms())
+            v.push_back(m);
+        return v;
+    }();
+    return mechs;
+}
+
 /** Benign co-runners of every security-verification mix. */
 inline const std::vector<std::string> &
 securityBenignApps()

@@ -33,8 +33,9 @@ benchFig4(BenchContext &ctx)
             apps.push_back(names[i * names.size() / take]);
     }
 
-    // Sweep cells: per app, the baseline run then one run per mechanism.
-    const auto &mechs = paperMechanisms();
+    // Sweep cells: per app, the baseline run then one run per mechanism
+    // (the paper's seven plus the factory zoo, see bench_util.hh).
+    const auto &mechs = comparisonMechanisms();
     const std::size_t runs_per_app = 1 + mechs.size();
     std::vector<Json> cells = ctx.runCells(
         "apps", apps.size() * runs_per_app, [&](std::size_t i) {

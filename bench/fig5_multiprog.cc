@@ -33,8 +33,9 @@ runScenario(BenchContext &ctx, const char *label, const char *title,
     ExperimentConfig base_cfg = benchConfig(ctx, "Baseline");
     warmAloneIpc(ctx, base_cfg, mixes);
 
-    // Sweep cells: per mix, the baseline run then one run per mechanism.
-    const auto &mechs = paperMechanisms();
+    // Sweep cells: per mix, the baseline run then one run per mechanism
+    // (the paper's seven plus the factory zoo, see bench_util.hh).
+    const auto &mechs = comparisonMechanisms();
     const std::size_t runs_per_mix = 1 + mechs.size();
     std::vector<Json> cells = ctx.runCells(
         label, mixes.size() * runs_per_mix, [&](std::size_t i) {

@@ -56,9 +56,10 @@ fuzzGenerations(const BenchContext &ctx)
 void
 benchFuzz(BenchContext &ctx)
 {
-    std::vector<std::string> mechs = {"Baseline"};
-    for (const auto &m : paperMechanisms())
-        mechs.push_back(m);
+    // Factory-derived mechanism coverage (bench_util.hh): Baseline
+    // first, then the paper set, then the zoo — appended last so the
+    // pre-zoo island cell indices stay stable.
+    const std::vector<std::string> &mechs = securityMechanisms();
     const unsigned population = fuzzPopulation(ctx);
     const unsigned generations = fuzzGenerations(ctx);
 

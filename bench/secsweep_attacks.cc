@@ -53,11 +53,10 @@ void
 benchSecSweep(BenchContext &ctx)
 {
     const auto patterns = selectedPatterns(ctx);
-    // Baseline first as the unmitigated reference, then the paper's
-    // seven-mechanism comparison set.
-    std::vector<std::string> mechs = {"Baseline"};
-    for (const auto &m : paperMechanisms())
-        mechs.push_back(m);
+    // Baseline first as the unmitigated reference, then every compared
+    // mechanism — factory-derived (bench_util.hh), so a newly
+    // registered mechanism can never be skipped by this sweep.
+    const std::vector<std::string> &mechs = securityMechanisms();
     const std::vector<unsigned> channel_counts = {1, 2};
     const std::size_t runs_per_pattern =
         mechs.size() * channel_counts.size();

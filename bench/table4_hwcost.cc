@@ -22,11 +22,20 @@ printForThreshold(const HwCostModel &model, std::uint32_t n_rh)
     Json out = Json::object();
     TextTable t({"mechanism", "SRAM KiB", "CAM KiB", "area mm^2",
                  "% CPU", "access pJ", "static mW"});
-    const char *mechs[] = {"BlockHammer", "PARA", "PRoHIT", "MRLoc",
-                           "CBT", "TWiCe", "Graphene"};
-    for (const char *m : mechs) {
+    // Factory-derived row set (Table 4 leads with BlockHammer): a
+    // mechanism added to the factory gets a cost row here or the model
+    // fatal()s — it cannot be silently missing from the table.
+    std::vector<std::string> mechs = {"BlockHammer"};
+    for (const auto &m : paperMechanisms())
+        if (m != "BlockHammer")
+            mechs.push_back(m);
+    for (const auto &m : zooMechanisms())
+        mechs.push_back(m);
+    for (const std::string &m : mechs) {
         auto cost = model.costFor(m, n_rh, DramTimings::ddr4());
         if (!cost) {
+            // Known design-point gap (PRoHIT/MRLoc below their
+            // published threshold); unknown names died in costFor.
             t.addRow({m, "x", "x", "x", "x", "x", "x"});
             out[m] = Json();    // null: no published scaling rule
             continue;

@@ -1,9 +1,11 @@
 #include "analysis/hwcost.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "blockhammer/config.hh"
 #include "common/bitutils.hh"
+#include "common/log.hh"
 
 namespace bh
 {
@@ -129,7 +131,65 @@ HwCostModel::costFor(const std::string &mechanism, std::uint32_t n_rh,
         double cam_kib = 5.22 * scale32k;
         return toCost(mechanism, Storage{0.0, cam_kib * 8192.0});
     }
-    return std::nullopt;
+    if (mechanism == "ABACuS") {
+        // One shared (RAC, SAV) table for the whole rank: ceil(W/T) + 1
+        // entries with T = N_RH/4 (mitigations/abacus.cc), each a
+        // searched row address plus an SRAM RAC and one SAV bit per
+        // bank — the per-bank-free sizing that is ABACuS's point.
+        double w = static_cast<double>(timings.tREFW) /
+            static_cast<double>(std::max<Cycle>(1, timings.tRC));
+        double t = std::max(1.0, static_cast<double>(n_rh) / 4.0);
+        double entries = std::ceil(w / t) + 1.0;
+        double rac_bits = ceilLog2(static_cast<std::uint64_t>(w) + 1) + 1;
+        double sram_bits = entries * (rac_bits + banks + 1.0);
+        double cam_bits = entries * ceilLog2(65536);
+        return toCost(mechanism, Storage{sram_bits, cam_bits});
+    }
+    if (mechanism == "DAPPER") {
+        // Per-bank Misra-Gries at the lowered T = N_RH/8 plus the
+        // budgeted-refresh FIFO (mitigations/dapper.cc).
+        double w = static_cast<double>(timings.tREFW) /
+            static_cast<double>(std::max<Cycle>(1, timings.tRC));
+        double t = std::max(1.0, static_cast<double>(n_rh) / 8.0);
+        double entries = std::ceil(w / t) + 1.0;
+        double cnt_bits = ceilLog2(static_cast<std::uint64_t>(w) + 1) + 1;
+        double sram_bits = entries * banks * (cnt_bits + 1.0);
+        double cam_bits = entries * banks * ceilLog2(65536);
+        double fifo_bits = 64.0 * (ceilLog2(65536) + ceilLog2(banks));
+        return toCost(mechanism, Storage{sram_bits + fifo_bits, cam_bits});
+    }
+    {
+        // Composable throttler: the wrapped base's storage plus two
+        // time-interleaved per-thread blame counters.
+        const std::string prefix = "BreakHammer+";
+        if (mechanism.size() > prefix.size() &&
+            mechanism.compare(0, prefix.size(), prefix) == 0) {
+            auto base = costFor(mechanism.substr(prefix.size()), n_rh,
+                                timings);
+            if (!base)
+                return std::nullopt;    // design-point gap propagates
+            double w = static_cast<double>(timings.tREFW) /
+                static_cast<double>(std::max<Cycle>(1, timings.tRC));
+            double t = std::max(1.0, static_cast<double>(n_rh) / 4.0);
+            double denom = std::max(4.0, w / (2.0 * t));
+            double counter_bits = ceilLog2(static_cast<std::uint64_t>(
+                std::ceil(2.0 * denom)) + 1) + 1;
+            Storage throttler{2.0 * threads * counter_bits, 0.0};
+            HwCost c = toCost(mechanism,
+                              Storage{base->sramKiB * 8192.0 +
+                                          throttler.sramBits,
+                                      base->camKiB * 8192.0});
+            c.scalable = base->scalable;
+            return c;
+        }
+    }
+    if (mechanism == "Baseline")
+        return toCost(mechanism, Storage{0.0, 0.0});
+    // Unknown names fail loudly: a silent nullopt here once let a
+    // sweep print zero-cost "x" rows for a misspelled mechanism.
+    fatal("no hardware cost model for mechanism '%s' (known design-point "
+          "gaps return empty rows; unknown names are a bug)",
+          mechanism.c_str());
 }
 
 } // namespace bh

@@ -72,7 +72,10 @@ class HwCostModel
     /**
      * Cost of `mechanism` configured for threshold `n_rh` under `timings`.
      * Returns nullopt for mechanisms that cannot be configured at the
-     * requested threshold (PRoHIT/MRLoc away from their design point).
+     * requested threshold (PRoHIT/MRLoc away from their design point,
+     * and BreakHammer compositions over them). A name with no cost
+     * model at all is fatal(): unknown mechanisms must fail loudly, not
+     * produce zero-cost rows.
      */
     std::optional<HwCost> costFor(const std::string &mechanism,
                                   std::uint32_t n_rh,

@@ -488,6 +488,16 @@ MemController::inflight(ThreadId thread, unsigned flat_bank) const
     return inflightCount[i];
 }
 
+int
+MemController::inflightThread(ThreadId thread) const
+{
+    if (thread < 0 ||
+        static_cast<std::size_t>(thread) >= inflightByThread.size()) {
+        return 0;
+    }
+    return inflightByThread[static_cast<std::size_t>(thread)];
+}
+
 const ThreadMemStats &
 MemController::threadStats(ThreadId thread) const
 {
@@ -517,6 +527,10 @@ MemController::noteInflight(ThreadId thread, unsigned bank, int delta)
     if (i >= inflightCount.size())
         inflightCount.resize(i + 1, 0);
     inflightCount[i] += delta;
+    auto t = static_cast<std::size_t>(thread);
+    if (t >= inflightByThread.size())
+        inflightByThread.resize(t + 1, 0);
+    inflightByThread[t] += delta;
 }
 
 void

@@ -117,6 +117,9 @@ class MemController
     /** In-flight (accepted, not yet serviced) reads for <thread, bank>. */
     int inflight(ThreadId thread, unsigned flat_bank) const;
 
+    /** In-flight reads of `thread` summed across this channel's banks. */
+    int inflightThread(ThreadId thread) const;
+
     /** Per-thread row-buffer statistics. */
     const ThreadMemStats &threadStats(ThreadId thread) const;
 
@@ -124,6 +127,10 @@ class MemController
     std::uint64_t demandActivations() const { return numActDemand; }
     std::uint64_t blockedActQueries() const { return numActBlocked; }
     std::uint64_t victimRefreshesDone() const { return numVictimDone; }
+    std::uint64_t victimRefreshesScheduled() const
+    {
+        return numVictimScheduled;
+    }
     std::uint64_t refreshes() const { return numRefreshes; }
     std::uint64_t rowHits() const { return numRowHits; }
     std::uint64_t rowMisses() const { return numRowMisses; }
@@ -254,6 +261,7 @@ class MemController
     Histogram *writeDepthHist;
 
     std::vector<int> inflightCount;     ///< [thread * banks + bank]
+    std::vector<int> inflightByThread;  ///< per-thread aggregate
     std::vector<unsigned> hitStreak;    ///< consecutive row hits per bank
     std::vector<ThreadMemStats> perThread;
     unsigned banks = 0;

@@ -135,6 +135,24 @@ MemSystem::submit(Request req)
             }
             return SubmitResult::kQuotaExceeded;
         }
+        // BreakHammer-style whole-thread quota: a suspect thread is
+        // capped on its channel-wide in-flight reads regardless of the
+        // bank it targets. Checked at the same gate as the per-bank
+        // quota; in-flight accounting only moves inside a successful
+        // enqueue (and back at service), so a rejection here — or a
+        // queue-full rejection above — can never leak a quota slot.
+        int tq = lane.mitig->threadQuota(req.thread);
+        if (tq >= 0 && lane.ctrl->inflightThread(req.thread) >= tq) {
+            ++numQuotaRejects;
+            if (TraceSink::on()) {
+                TraceSink::instant(
+                    "queue", "thread_quota_reject", lane.ctrl->traceMeta(),
+                    req.arrival,
+                    {{"thread", static_cast<std::int64_t>(req.thread)},
+                     {"quota", static_cast<std::int64_t>(tq)}});
+            }
+            return SubmitResult::kQuotaExceeded;
+        }
     }
     if (!lane.ctrl->enqueue(std::move(req)))
         return SubmitResult::kQueueFull;

@@ -109,6 +109,19 @@ class Mitigation
         return -1;
     }
 
+    /**
+     * Maximum in-flight read requests `thread` may have across all banks
+     * of this channel; negative means unlimited. Implements BreakHammer-
+     * style whole-thread throttling, checked at the same lane admission
+     * gate as quota() — a request must pass both.
+     */
+    virtual int
+    threadQuota(ThreadId thread) const
+    {
+        (void)thread;
+        return -1;
+    }
+
     /** Wire up the owning controller (for victim-refresh scheduling). */
     virtual void setController(MemController *mc) { controller = mc; }
 

@@ -2,7 +2,10 @@
 
 #include "blockhammer/blockhammer.hh"
 #include "common/log.hh"
+#include "mitigations/abacus.hh"
+#include "mitigations/breakhammer.hh"
 #include "mitigations/cbt.hh"
+#include "mitigations/dapper.hh"
 #include "mitigations/graphene.hh"
 #include "mitigations/mrloc.hh"
 #include "mitigations/para.hh"
@@ -12,12 +15,32 @@
 namespace bh
 {
 
+namespace
+{
+
+/** The composable-throttler name prefix: "BreakHammer+<base>". */
+const char *const kBreakHammerPrefix = "BreakHammer+";
+
+bool
+isBreakHammerName(const std::string &name, std::string &base_name)
+{
+    const std::string prefix = kBreakHammerPrefix;
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    base_name = name.substr(prefix.size());
+    return true;
+}
+
+} // namespace
+
 const std::vector<std::string> &
 mitigationNames()
 {
     static const std::vector<std::string> names = {
         "Baseline", "PARA", "PRoHIT", "MRLoc", "CBT", "TWiCe", "Graphene",
         "BlockHammer", "BlockHammer-Observe",
+        "ABACuS", "DAPPER", "BreakHammer+Graphene",
     };
     return names;
 }
@@ -27,6 +50,19 @@ paperMechanisms()
 {
     static const std::vector<std::string> names = {
         "PARA", "PRoHIT", "MRLoc", "CBT", "TWiCe", "Graphene", "BlockHammer",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+zooMechanisms()
+{
+    // The post-BlockHammer successors (PAPERS.md): evaluated alongside
+    // the paper's comparison set by every sweep that derives its grid
+    // from the factory. BreakHammer composes on any base; the grids
+    // evaluate the Graphene composition, the strongest tracker in tree.
+    static const std::vector<std::string> names = {
+        "ABACuS", "DAPPER", "BreakHammer+Graphene",
     };
     return names;
 }
@@ -48,6 +84,10 @@ makeMitigation(const std::string &name, const MitigationSettings &settings)
         return std::make_unique<Twice>(settings);
     if (name == "Graphene")
         return std::make_unique<Graphene>(settings);
+    if (name == "ABACuS")
+        return std::make_unique<Abacus>(settings);
+    if (name == "DAPPER")
+        return std::make_unique<Dapper>(settings);
     if (name == "BlockHammer" || name == "BlockHammer-Observe") {
         auto cfg = BlockHammerConfig::forThreshold(
             settings.nRH, settings.timings, settings.banks,
@@ -56,7 +96,19 @@ makeMitigation(const std::string &name, const MitigationSettings &settings)
         cfg.observeOnly = (name == "BlockHammer-Observe");
         return std::make_unique<BlockHammer>(cfg);
     }
-    fatal("unknown mitigation mechanism '%s'", name.c_str());
+    std::string base_name;
+    if (isBreakHammerName(name, base_name)) {
+        // Recurse: any constructible mechanism can be the base, so
+        // "BreakHammer+<unknown>" reports the unknown base by name.
+        return std::make_unique<BreakHammer>(
+            makeMitigation(base_name, settings), settings);
+    }
+    std::string known;
+    for (const auto &n : mitigationNames())
+        known += (known.empty() ? "" : ", ") + n;
+    fatal("unknown mitigation mechanism '%s' (valid: %s, or "
+          "BreakHammer+<mechanism>)",
+          name.c_str(), known.c_str());
 }
 
 } // namespace bh

@@ -2,8 +2,10 @@
  * @file
  * Factory constructing any evaluated mitigation mechanism by name:
  * Baseline (none), PARA, PRoHIT, MRLoc, CBT, TWiCe, Graphene,
- * BlockHammer, and BlockHammer-Observe (Section 3.2.1's observe-only
- * mode).
+ * BlockHammer, BlockHammer-Observe (Section 3.2.1's observe-only
+ * mode), the post-BlockHammer successors ABACuS and DAPPER, and the
+ * composable "BreakHammer+<base>" suspect-thread throttler, which
+ * stacks on any other constructible mechanism.
  */
 
 #ifndef BH_MITIGATIONS_FACTORY_HH
@@ -24,6 +26,16 @@ const std::vector<std::string> &mitigationNames();
 
 /** The paper's comparison set (Figure 4/5 order). */
 const std::vector<std::string> &paperMechanisms();
+
+/**
+ * The post-paper "mitigation zoo" additions (ABACuS, DAPPER, and the
+ * BreakHammer+Graphene composition), appended after paperMechanisms()
+ * by every sweep grid so existing cell indices stay stable. Frozen
+ * paperMechanisms() plus this list is the factory-derived source of
+ * truth for sweep and verdict coverage — a mechanism added here can
+ * never be silently skipped by a grid that derives from it.
+ */
+const std::vector<std::string> &zooMechanisms();
 
 /** Construct a mechanism by name; fatal() on unknown names. */
 std::unique_ptr<Mitigation> makeMitigation(const std::string &name,

@@ -182,11 +182,14 @@ TEST(HwCost, GrapheneIsCamOnly)
     EXPECT_GT(g->camKiB, 0.0);
 }
 
-TEST(HwCost, UnknownMechanismIsNullopt)
+TEST(HwCostDeath, UnknownMechanismIsFatal)
 {
+    // nullopt is reserved for known design-point gaps (PRoHIT/MRLoc
+    // below their published threshold); an unknown name is a bug and
+    // must fail loudly instead of producing a zero-cost Table 4 row.
     HwCostModel model;
-    EXPECT_FALSE(model.costFor("Nonsense", 32768,
-                               DramTimings::ddr4()).has_value());
+    EXPECT_EXIT(model.costFor("Nonsense", 32768, DramTimings::ddr4()),
+                ::testing::ExitedWithCode(1), "no hardware cost model");
 }
 
 } // namespace

@@ -7,7 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "analysis/hwcost.hh"
 #include "blockhammer/blockhammer.hh"
+#include "mitigations/abacus.hh"
+#include "mitigations/breakhammer.hh"
+#include "mitigations/dapper.hh"
 #include "mitigations/factory.hh"
 #include "mitigations/prohit.hh"
 #include "sim/experiment.hh"
@@ -63,11 +69,92 @@ TEST(Factory, SettingsPropagateToBlockHammer)
     EXPECT_EQ(bh->config().seed, 99u);
 }
 
+TEST(Factory, ZooMechanismsAppendAfterFrozenPaperSet)
+{
+    // The zoo list is the factory-derived source of truth for sweep
+    // grids; its order is pinned because cell indices derive from it.
+    const auto &zoo = zooMechanisms();
+    ASSERT_EQ(zoo.size(), 3u);
+    EXPECT_EQ(zoo[0], "ABACuS");
+    EXPECT_EQ(zoo[1], "DAPPER");
+    EXPECT_EQ(zoo[2], "BreakHammer+Graphene");
+    // Every zoo name is constructible and listed in mitigationNames().
+    const auto &all = mitigationNames();
+    for (const auto &name : zoo)
+        EXPECT_NE(std::find(all.begin(), all.end(), name), all.end())
+            << name;
+}
+
+TEST(Factory, ConstructsZooWithExpectedTypes)
+{
+    MitigationSettings s;
+    EXPECT_NE(dynamic_cast<Abacus *>(makeMitigation("ABACuS", s).get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<Dapper *>(makeMitigation("DAPPER", s).get()),
+              nullptr);
+    auto bkh = makeMitigation("BreakHammer+Graphene", s);
+    auto *w = dynamic_cast<BreakHammer *>(bkh.get());
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->baseMechanism().name(), "Graphene");
+    // Composition recurses: any constructible mechanism can be a base.
+    auto nested = makeMitigation("BreakHammer+ABACuS", s);
+    auto *wn = dynamic_cast<BreakHammer *>(nested.get());
+    ASSERT_NE(wn, nullptr);
+    EXPECT_EQ(wn->baseMechanism().name(), "ABACuS");
+}
+
 TEST(FactoryDeath, UnknownNameIsFatal)
 {
     MitigationSettings s;
     EXPECT_EXIT(makeMitigation("NoSuchMechanism", s),
                 ::testing::ExitedWithCode(1), "unknown mitigation");
+}
+
+TEST(FactoryDeath, UnknownNameListsValidMechanisms)
+{
+    // The fatal must name the valid set: a typo'd config should tell
+    // the user what would have worked.
+    MitigationSettings s;
+    EXPECT_EXIT(makeMitigation("NoSuchMechanism", s),
+                ::testing::ExitedWithCode(1),
+                "valid:.*Graphene.*BreakHammer");
+}
+
+TEST(FactoryDeath, UnknownBreakHammerBaseIsFatal)
+{
+    MitigationSettings s;
+    EXPECT_EXIT(makeMitigation("BreakHammer+NoSuch", s),
+                ::testing::ExitedWithCode(1), "unknown mitigation");
+}
+
+TEST(HwCostDeath, UnknownMechanismIsFatal)
+{
+    // A factory-registered mechanism missing from the cost model must
+    // fail loudly, not produce a zero-cost Table 4 row.
+    HwCostModel model;
+    EXPECT_EXIT(model.costFor("NoSuchMechanism", 32768,
+                              DramTimings::ddr4()),
+                ::testing::ExitedWithCode(1), "no hardware cost model");
+}
+
+TEST(HwCost, ZooMechanismsHaveCostRows)
+{
+    HwCostModel model;
+    auto t = DramTimings::ddr4();
+    for (const auto &name : zooMechanisms()) {
+        auto cost = model.costFor(name, 32768, t);
+        ASSERT_TRUE(cost.has_value()) << name;
+        EXPECT_GT(cost->areaMm2, 0.0) << name;
+    }
+    // The composition prices as base + throttler counters: strictly
+    // more storage than the base alone, but only marginally.
+    auto base = model.costFor("Graphene", 1024, t);
+    auto composed = model.costFor("BreakHammer+Graphene", 1024, t);
+    ASSERT_TRUE(base && composed);
+    EXPECT_GT(composed->sramKiB, base->sramKiB);
+    EXPECT_EQ(composed->camKiB, base->camKiB);
+    // A composition over a fixed design point inherits its gap.
+    EXPECT_FALSE(model.costFor("BreakHammer+PRoHIT", 1024, t).has_value());
 }
 
 TEST(NullMitigation, PermitsEverything)

@@ -100,8 +100,10 @@ TEST(Manifest, EnumerateCountsWithoutSimulating)
     Runner pool(1);
     ctx.runner = &pool;
     runBench(*info, ctx);
-    // 3 mixes x (1 baseline + 7 mechanisms) x 2 scenarios at scale 1.
-    EXPECT_EQ(ctx.nextCell, 48u);
+    // 3 mixes x (1 baseline + the comparison set) x 2 scenarios at
+    // scale 1 — derived, so the count tracks the factory's zoo.
+    EXPECT_EQ(ctx.nextCell,
+              2 * 3 * (1 + comparisonMechanisms().size()));
     EXPECT_EQ(ctx.cellsRun, 0u);
     EXPECT_EQ(ctx.phases.size(), 2u);
 }
